@@ -1,0 +1,27 @@
+"""Figure 4 — ROC curve of the 3-layer alternating tree-LSTM on A.
+
+Shape to hold: the curve dominates the diagonal (AUC well above 0.5;
+the paper reports 0.85), and raising the confidence threshold lowers
+the false-positive rate — the trade-off Section VI-B recommends to
+developers.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig4
+
+from .conftest import write_result
+
+
+def test_fig4_roc_alternating_treelstm(benchmark, table1_db, profile,
+                                       results_dir):
+    result = benchmark.pedantic(run_fig4, args=(table1_db, profile),
+                                rounds=1, iterations=1)
+    write_result(results_dir, "fig4", result.render())
+
+    assert result.auc > 0.6, f"AUC {result.auc:.3f} barely beats chance"
+    # ROC monotonicity (threshold semantics).
+    assert np.all(np.diff(result.fpr) >= 0)
+    assert np.all(np.diff(result.tpr) >= 0)
+    # The curve dominates the diagonal on average.
+    assert float(np.mean(result.tpr - result.fpr)) > 0.05

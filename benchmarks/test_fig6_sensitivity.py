@@ -1,0 +1,30 @@
+"""Figure 6 — prediction sensitivity to the runtime gap (A, B, C).
+
+Shape to hold: restricting evaluation to pairs whose runtime difference
+exceeds a growing threshold increases accuracy — large differences come
+with clearer structural signals (paper: accuracy approaches 1.0 for
+second-scale gaps).
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig6
+
+from .conftest import write_result
+
+
+def test_fig6_gap_sensitivity(benchmark, table1_db, profile, results_dir):
+    result = benchmark.pedantic(run_fig6, args=(table1_db, profile),
+                                rounds=1, iterations=1)
+    write_result(results_dir, "fig6", result.render())
+
+    improvements = []
+    for tag, curve in result.curves.items():
+        valid = [(t, acc, n) for t, acc, n in curve if n >= 5]
+        assert valid, f"no populated thresholds for {tag}"
+        base_acc = valid[0][1]
+        top_acc = valid[-1][1]
+        improvements.append(top_acc - base_acc)
+        assert top_acc > 0.55, f"{tag}: even large gaps are unpredictable"
+    # On average across problems, accuracy improves with the gap.
+    assert float(np.mean(improvements)) >= -0.02

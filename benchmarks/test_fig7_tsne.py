@@ -1,0 +1,30 @@
+"""Figure 7 — t-SNE of the learned representations.
+
+(a) node-type embeddings coloured by syntactic category; (b) code
+embeddings of submissions from three problems coloured by problem.
+Shape to hold: problems form distinguishable clusters in (b) — the
+separation score (between-centroid distance over within-group spread)
+must exceed 1, and the projections must be finite and 2-D.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig7
+
+from .conftest import write_result
+
+
+def test_fig7_embedding_projections(benchmark, table1_db, profile,
+                                    results_dir):
+    result = benchmark.pedantic(run_fig7, args=(table1_db, profile),
+                                rounds=1, iterations=1)
+    write_result(results_dir, "fig7", result.render())
+
+    assert result.node_points.shape[1] == 2
+    assert result.code_points.shape[1] == 2
+    assert np.all(np.isfinite(result.node_points))
+    assert np.all(np.isfinite(result.code_points))
+    assert len(set(result.code_labels)) == 3
+    # Problems separate in code-embedding space (paper: "distinctly
+    # different representations").
+    assert result.code_silhouette > 1.0

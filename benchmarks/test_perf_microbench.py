@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the pipeline's hot paths (throughput numbers).
+
+Not a paper artifact — these quantify the substrate itself: frontend
+parsing, featurization, one tree-LSTM encode, one training step, and
+one judged execution. Useful for tracking performance regressions in
+the reproduction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TrainConfig, Trainer, build_model
+from repro.data import sample_pairs
+from repro.judge import Judge, MachineProfile
+from repro.lang import parse
+
+SOURCE = """
+#include <bits/stdc++.h>
+using namespace std;
+int main() {
+    int n; cin >> n;
+    vector<int> v(n, 0);
+    for (int i = 0; i < n; i++) cin >> v[i];
+    sort(v.begin(), v.end());
+    long long s = 0;
+    for (int i = 0; i < n; i++) s += (long long)(v[i]) * i;
+    cout << s << endl;
+    return 0;
+}
+"""
+
+
+def test_bench_parse(benchmark):
+    unit = benchmark(parse, SOURCE)
+    assert unit.functions
+
+
+def test_bench_featurize(benchmark):
+    from repro.core import TreeFeaturizer
+
+    featurizer = TreeFeaturizer(cache_size=0)  # disable caching entirely
+
+    def featurize():
+        return featurizer(SOURCE)
+
+    feats = benchmark(featurize)
+    assert feats.num_nodes > 20
+
+
+def test_bench_treelstm_encode(benchmark):
+    model = build_model(embedding_dim=16, hidden_size=16)
+    feats = model.featurizer(SOURCE)
+
+    def encode():
+        return model.encoder(feats)
+
+    z = benchmark(encode)
+    assert z.shape == (16,)
+
+
+def test_bench_training_step(benchmark, table1_db):
+    subs = table1_db.submissions("C")
+    pairs = sample_pairs(subs, 8, np.random.default_rng(0))
+    model = build_model(embedding_dim=16, hidden_size=16)
+    trainer = Trainer(model, TrainConfig(epochs=1, batch_size=8))
+    prepared = trainer._featurize_pairs(pairs)
+
+    def step():
+        trainer.optimizer.zero_grad()
+        loss = trainer._batch_loss(prepared)
+        loss.backward()
+        trainer.optimizer.step()
+        return loss
+
+    loss = benchmark.pedantic(step, rounds=3, iterations=1)
+    assert np.isfinite(loss.item())
+
+
+def test_bench_judge_execution(benchmark):
+    judge = Judge(machine=MachineProfile(cycles_per_ms=2000.0))
+    from repro.judge import TestCase as JudgeTest
+
+    n = 200
+    values = list(range(n, 0, -1))
+    expected = str(sum(v * i for i, v in enumerate(sorted(values))))
+    test = JudgeTest(f"{n}\n" + " ".join(map(str, values)), expected)
+
+    report = benchmark.pedantic(
+        lambda: judge.judge_source(SOURCE, [test]), rounds=3, iterations=1)
+    assert report.verdict.value == "OK"

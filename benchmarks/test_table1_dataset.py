@@ -1,0 +1,26 @@
+"""Table I — dataset statistics per problem tag.
+
+Regenerates the count / min / median / max / stddev columns from the
+simulated corpus and prints them beside the paper's values. The shape
+to verify: tag H is tiny, A/B/D are large, and every tag shows enough
+runtime variance to learn from.
+"""
+
+from repro.experiments import run_table1
+
+from .conftest import write_result
+
+
+def test_table1_dataset_statistics(benchmark, table1_db, results_dir):
+    result = benchmark.pedantic(run_table1, args=(table1_db,),
+                                rounds=1, iterations=1)
+    write_result(results_dir, "table1", result.render())
+
+    rows = {tag: (mn, med, mx, sd) for tag, _, mn, med, mx, sd in result.rows}
+    assert set(rows) == set("ABCDEFGHI")
+    # Shape check 1: H (DP, tiny in the paper: 2..29 ms) is the smallest.
+    medians = {tag: med for tag, (mn, med, mx, sd) in rows.items()}
+    assert medians["H"] <= min(medians["A"], medians["B"], medians["D"])
+    # Shape check 2: every problem shows meaningful runtime spread.
+    for tag, (mn, med, mx, sd) in rows.items():
+        assert mx > 1.5 * mn, f"tag {tag} has too little runtime variation"

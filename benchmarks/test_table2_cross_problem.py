@@ -1,0 +1,24 @@
+"""Table II — cross-problem transfer within the DFS/graph group.
+
+Models trained on F, G, I and evaluated on each other. Shape to hold:
+F<->G (identical algorithm classes: DFS/Graphs/Trees) transfer at
+least as well as transfer to/from I (partial overlap: DFS/DP/Graphs),
+and the diagonal stays strong.
+"""
+
+import numpy as np
+
+from repro.experiments import run_table2
+
+from .conftest import write_result
+
+
+def test_table2_dfs_group_matrix(benchmark, table1_db, profile, results_dir):
+    result = benchmark.pedantic(run_table2, args=(table1_db, profile),
+                                rounds=1, iterations=1)
+    write_result(results_dir, "table2", result.render())
+
+    diag = [result.matrix[(t, t)] for t in ("F", "G", "I")]
+    assert float(np.mean(diag)) > 0.6, "diagonal (same problem) too weak"
+    # Paper: larger class overlap -> higher transfer accuracy.
+    assert result.within_group_mean() >= result.partial_overlap_mean() - 0.05

@@ -1,0 +1,8 @@
+"""Setup shim: the offline environment lacks the ``wheel`` package, so
+``pip install -e .`` cannot build an editable wheel (PEP 660). Run
+``python setup.py develop`` instead; configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""repro — reproduction of *Comparative Code Structure Analysis using
+Deep Learning for Performance Prediction* (ISPASS 2021).
+
+Subpackages
+-----------
+``repro.nn``      from-scratch autograd + tree-LSTM/GCN framework
+``repro.lang``    C++-subset frontend producing ASTs (ROSE stand-in)
+``repro.judge``   interpreter + cost model that "runs" submissions
+``repro.corpus``  synthetic Codeforces-style submission corpus
+``repro.data``    pair generation, labeling, sampling, splits
+``repro.core``    the paper's pipeline: encoders, classifier, trainer, eval
+``repro.tuning``  hyper-parameter search (Optuna stand-in)
+``repro.viz``     t-SNE and terminal plotting for the figures
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["nn", "lang", "judge", "corpus", "data", "core", "tuning", "viz"]

@@ -1,0 +1,140 @@
+"""Command-line interface: collect, inspect, train, predict.
+
+The paper describes "a pipeline that can be integrated into the
+development phase of applications"; this CLI is that integration
+surface::
+
+    python -m repro collect --tags C F --per-problem 24 --out corpus.jsonl
+    python -m repro stats   --db corpus.jsonl
+    python -m repro train   --db corpus.jsonl --tag C --out model.npz
+    python -m repro predict --db corpus.jsonl --tag C --model model.npz \
+                            --old old.cpp --new new.cpp
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .corpus import Collector, SubmissionDatabase, family_for_tag, mp_families
+from .core import (
+    ExperimentConfig, PerformanceGate, TrainConfig, build_model,
+    run_experiment,
+)
+from .nn.serialize import load_state, save_state
+from .viz import table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Comparative code-performance prediction "
+                    "(ISPASS 2021 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    collect = sub.add_parser("collect", help="generate and judge a corpus")
+    collect.add_argument("--tags", nargs="+", default=["C"],
+                         help="Table-I tags (A-I) and/or 'MP'")
+    collect.add_argument("--per-problem", type=int, default=24)
+    collect.add_argument("--scale", type=float, default=0.4)
+    collect.add_argument("--seed", type=int, default=1278)
+    collect.add_argument("--out", required=True)
+
+    stats = sub.add_parser("stats", help="Table-I statistics of a corpus")
+    stats.add_argument("--db", required=True)
+
+    train = sub.add_parser("train", help="train a comparative model")
+    train.add_argument("--db", required=True)
+    train.add_argument("--tag", required=True)
+    train.add_argument("--encoder", choices=["treelstm", "gcn"],
+                       default="treelstm")
+    train.add_argument("--epochs", type=int, default=6)
+    train.add_argument("--pairs", type=int, default=100)
+    train.add_argument("--embedding-dim", type=int, default=16)
+    train.add_argument("--hidden", type=int, default=16)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--out", required=True)
+
+    predict = sub.add_parser("predict",
+                             help="compare two source files with a model")
+    predict.add_argument("--model", required=True)
+    predict.add_argument("--old", required=True)
+    predict.add_argument("--new", required=True)
+    predict.add_argument("--threshold", type=float, default=0.5)
+    return parser
+
+
+def _cmd_collect(args) -> int:
+    families = []
+    for tag in args.tags:
+        if tag.upper() == "MP":
+            families.extend(mp_families(count=10, scale=args.scale))
+        else:
+            families.append(family_for_tag(tag.upper(), scale=args.scale))
+    db = Collector(seed=args.seed).collect(families,
+                                           per_problem=args.per_problem)
+    db.save(args.out)
+    print(f"collected {len(db)} accepted submissions across "
+          f"{len(db.problems())} problems -> {args.out}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    db = SubmissionDatabase.load(args.db)
+    rows = [[s.tag, s.count, f"{s.min_ms:.0f}", f"{s.median_ms:.0f}",
+             f"{s.max_ms:.0f}", f"{s.stddev_ms:.0f}"]
+            for s in db.all_stats()]
+    print(table(["Tag", "Count", "Min(ms)", "Median(ms)", "Max(ms)",
+                 "StdDev"], rows))
+    return 0
+
+
+def _cmd_train(args) -> int:
+    db = SubmissionDatabase.load(args.db)
+    subs = db.submissions(args.tag)
+    config = ExperimentConfig(
+        encoder_kind=args.encoder, embedding_dim=args.embedding_dim,
+        hidden_size=args.hidden, train_pairs=args.pairs,
+        eval_pairs=max(20, args.pairs // 2), seed=args.seed,
+        train=TrainConfig(epochs=args.epochs, seed=args.seed))
+    result = run_experiment(subs, config)
+    state = result.trainer.model.state_dict()
+    save_state(state, args.out)
+    meta = {"encoder": args.encoder, "embedding_dim": args.embedding_dim,
+            "hidden": args.hidden, "seed": args.seed,
+            "accuracy": result.evaluation.accuracy}
+    Path(args.out).with_suffix(".json").write_text(json.dumps(meta))
+    print(f"trained on {len(subs)} submissions; held-out accuracy="
+          f"{result.evaluation.accuracy:.3f}; model -> {args.out}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    meta = json.loads(Path(args.model).with_suffix(".json").read_text())
+    model = build_model(encoder_kind=meta["encoder"],
+                        embedding_dim=meta["embedding_dim"],
+                        hidden_size=meta["hidden"], seed=meta["seed"])
+    model.load_state_dict(load_state(args.model))
+    gate = PerformanceGate(model, flag_threshold=args.threshold)
+    old_source = Path(args.old).read_text()
+    new_source = Path(args.new).read_text()
+    report = gate.check(old_source, new_source)
+    flag = "FLAG: likely regression" if report["flagged"] else "pass"
+    print(f"P(new version is slower) = "
+          f"{report['regression_probability']:.3f} -> {flag}")
+    return 0 if not report["flagged"] else 2
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"collect": _cmd_collect, "stats": _cmd_stats,
+                "train": _cmd_train, "predict": _cmd_predict}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""The paper's contribution: comparative performance prediction from ASTs.
+
+``TreeFeaturizer`` turns source into model-ready trees; ``build_model``
+assembles encoder F (tree-LSTM or GCN) + classifier C; ``Trainer``
+optimizes BCE over code pairs; ``evaluate``/``pipeline`` implement the
+paper's measurement protocols end to end.
+"""
+
+from .baselines import (
+    AbsoluteRuntimeRegressor, LoopNestingHeuristic, NodeCountHeuristic,
+    WeightedConstructHeuristic, baseline_accuracy,
+)
+from .classifier import PairClassifier
+from .encoders import GcnEncoder, TreeLstmEncoder
+from .evaluate import (
+    EvalResult, cross_problem_matrix, evaluate_on_pairs, sensitivity_curve,
+)
+from .features import TreeFeatures, TreeFeaturizer
+from .metrics import RocCurve, accuracy, auc, confusion, roc_curve
+from .model import ComparativeModel, build_model
+from .pipeline import (
+    ExperimentConfig, ExperimentResult, PerformanceGate, run_experiment,
+)
+from .trainer import TrainConfig, TrainHistory, Trainer
+
+__all__ = [
+    "TreeFeatures", "TreeFeaturizer",
+    "TreeLstmEncoder", "GcnEncoder", "PairClassifier",
+    "ComparativeModel", "build_model",
+    "TrainConfig", "TrainHistory", "Trainer",
+    "accuracy", "confusion", "RocCurve", "roc_curve", "auc",
+    "EvalResult", "evaluate_on_pairs", "cross_problem_matrix",
+    "sensitivity_curve",
+    "ExperimentConfig", "ExperimentResult", "run_experiment",
+    "PerformanceGate",
+    "NodeCountHeuristic", "LoopNestingHeuristic",
+    "WeightedConstructHeuristic", "AbsoluteRuntimeRegressor",
+    "baseline_accuracy",
+]

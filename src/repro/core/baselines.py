@@ -1,0 +1,175 @@
+"""Non-learned baselines for the comparative task.
+
+The paper motivates deep structural learning by arguing that (a) static
+heuristics miss the interaction between constructs and (b) absolute
+runtime prediction from static features is inaccurate [20, 24]. These
+baselines make both claims measurable in this reproduction:
+
+* :class:`NodeCountHeuristic` — "longer code is slower".
+* :class:`LoopNestingHeuristic` — score by maximum loop-nesting depth,
+  then loop count (the paper's Section VI-E observation that big gaps
+  come from loop constructs, distilled into a rule).
+* :class:`WeightedConstructHeuristic` — hand-weighted construct counts.
+* :class:`AbsoluteRuntimeRegressor` — ridge regression from a node-kind
+  histogram to log-runtime; pairs are classified by comparing the two
+  predicted absolute runtimes (the literature approach the paper
+  contrasts against).
+
+All expose the same ``predict_probability(source_i, source_j)``
+contract as :class:`~repro.core.model.ComparativeModel`, so the
+evaluation stack runs them unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..corpus.problem import Submission
+from ..data.pairs import CodePair
+from ..lang.cpp_ast import DoWhile, For, While
+from ..lang.parser import parse
+from ..lang.simplify import simplify
+from ..lang.vocab import NodeVocab
+from .features import TreeFeaturizer
+
+__all__ = ["NodeCountHeuristic", "LoopNestingHeuristic",
+           "WeightedConstructHeuristic", "AbsoluteRuntimeRegressor",
+           "baseline_accuracy"]
+
+
+class _ScoreComparator:
+    """Shared plumbing: higher score = expected slower."""
+
+    def score(self, source: str) -> float:
+        raise NotImplementedError
+
+    def predict_probability(self, source_i: str, source_j: str) -> float:
+        """Smooth comparison of the two scores (logistic on the gap)."""
+        gap = self.score(source_i) - self.score(source_j)
+        return float(1.0 / (1.0 + np.exp(-gap / max(self._scale(), 1e-9))))
+
+    def predict_label(self, source_i: str, source_j: str,
+                      threshold: float = 0.5) -> int:
+        return int(self.predict_probability(source_i, source_j) >= threshold)
+
+    def _scale(self) -> float:
+        return 1.0
+
+
+class NodeCountHeuristic(_ScoreComparator):
+    """Score = AST node count."""
+
+    def __init__(self):
+        self._featurizer = TreeFeaturizer()
+
+    def score(self, source: str) -> float:
+        return float(self._featurizer(source).num_nodes)
+
+    def _scale(self) -> float:
+        return 10.0
+
+
+class LoopNestingHeuristic(_ScoreComparator):
+    """Score = max loop nesting depth (dominant) + 0.1 x loop count."""
+
+    _LOOPS = (For, While, DoWhile)
+
+    def score(self, source: str) -> float:
+        root = simplify(parse(source))
+
+        def walk(node, depth):
+            is_loop = isinstance(node, self._LOOPS)
+            here = depth + (1 if is_loop else 0)
+            best = here
+            count = 1 if is_loop else 0
+            for child in node.children():
+                child_best, child_count = walk(child, here)
+                best = max(best, child_best)
+                count += child_count
+            return best, count
+
+        max_depth, loop_count = walk(root, 0)
+        return float(max_depth) + 0.1 * loop_count
+
+    def _scale(self) -> float:
+        return 0.5
+
+
+class WeightedConstructHeuristic(_ScoreComparator):
+    """Hand-tuned construct weights (what a static linter might do)."""
+
+    WEIGHTS = {
+        "for_stmt": 5.0, "while_stmt": 5.0, "do_while_stmt": 5.0,
+        "call": 1.5, "method_push_back": 0.5, "method_insert": 1.0,
+        "method_count": 1.0, "index": 0.3, "io_read": 0.5, "io_write": 0.5,
+    }
+
+    def __init__(self):
+        self._featurizer = TreeFeaturizer()
+
+    def score(self, source: str) -> float:
+        kinds = self._featurizer(source).kinds
+        return float(sum(self.WEIGHTS.get(kind, 0.05) for kind in kinds))
+
+    def _scale(self) -> float:
+        return 5.0
+
+
+class AbsoluteRuntimeRegressor(_ScoreComparator):
+    """Ridge regression: node-kind histogram -> log mean runtime.
+
+    This is the "predict absolute execution time from static features"
+    strategy whose weakness motivates the paper's comparative framing.
+    It still *competes* on the pairwise task by comparing its two
+    absolute predictions.
+    """
+
+    def __init__(self, ridge: float = 1.0, vocab: NodeVocab | None = None):
+        if ridge < 0:
+            raise ValueError("ridge must be non-negative")
+        self.ridge = ridge
+        self._featurizer = TreeFeaturizer(vocab=vocab)
+        self._weights: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _histogram(self, source: str) -> np.ndarray:
+        feats = self._featurizer(source)
+        hist = np.zeros(len(self._featurizer.vocab) + 1)
+        for node_id in feats.node_ids:
+            hist[node_id] += 1.0
+        hist[-1] = 1.0  # bias feature
+        return hist
+
+    def fit(self, submissions: list[Submission]) -> "AbsoluteRuntimeRegressor":
+        if len(submissions) < 2:
+            raise ValueError("need at least 2 submissions to fit")
+        x = np.stack([self._histogram(s.source) for s in submissions])
+        y = np.log(np.maximum([s.mean_runtime_ms for s in submissions], 1.0))
+        gram = x.T @ x + self.ridge * np.eye(x.shape[1])
+        self._weights = np.linalg.solve(gram, x.T @ y)
+        return self
+
+    def predict_runtime_ms(self, source: str) -> float:
+        if self._weights is None:
+            raise RuntimeError("call fit() before predicting")
+        return float(np.exp(self._histogram(source) @ self._weights))
+
+    def score(self, source: str) -> float:
+        if self._weights is None:
+            raise RuntimeError("call fit() before predicting")
+        return float(self._histogram(source) @ self._weights)
+
+    def _scale(self) -> float:
+        return 0.25
+
+
+def baseline_accuracy(comparator, pairs: list[CodePair]) -> float:
+    """Pairwise accuracy of any ``predict_probability`` comparator."""
+    if not pairs:
+        raise ValueError("no pairs to evaluate")
+    correct = 0
+    for pair in pairs:
+        predicted = comparator.predict_label(pair.first.source,
+                                             pair.second.source)
+        correct += int(predicted == pair.label)
+    return correct / len(pairs)

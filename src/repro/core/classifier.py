@@ -1,0 +1,41 @@
+"""The classifier C (paper Section IV-D).
+
+Concatenates the two latent code vectors (size 2d) and maps them
+through a fully connected layer with sigmoid activation to the
+probability that the *second* program is faster-or-equal (label 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import Linear
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+
+__all__ = ["PairClassifier"]
+
+
+class PairClassifier(Module):
+    """``sigmoid(W [z_i ; z_j] + b)`` with optional hidden layer."""
+
+    def __init__(self, latent_size: int, hidden: int = 0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        if hidden > 0:
+            self.pre = Linear(2 * latent_size, hidden, rng=rng)
+            self.out = Linear(hidden, 1, rng=rng)
+        else:
+            self.pre = None
+            self.out = Linear(2 * latent_size, 1, rng=rng)
+
+    def logit(self, z_i: Tensor, z_j: Tensor) -> Tensor:
+        """Raw score (scalar tensor); positive favours label 1."""
+        joint = Tensor.concat([z_i, z_j], axis=0)
+        if self.pre is not None:
+            joint = self.pre(joint).tanh()
+        return self.out(joint)[0]
+
+    def probability(self, z_i: Tensor, z_j: Tensor) -> Tensor:
+        return self.logit(z_i, z_j).sigmoid()

@@ -1,0 +1,73 @@
+"""Deep representation learning: the feature extractor F of the paper.
+
+Both encoders share the structure of Section III-A: a learned node
+embedding lookup (dimension λ) followed by a structural network that
+produces one latent vector z per AST — the tree-LSTM stack (the paper's
+proposal) or the GCN (the baseline it is compared against in Fig. 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.gcn import GCN
+from ..nn.layers import Embedding
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+from ..nn.treelstm import TreeLSTMStack
+from .features import TreeFeatures
+
+__all__ = ["TreeLstmEncoder", "GcnEncoder"]
+
+
+class TreeLstmEncoder(Module):
+    """Embedding lookup + multi-layer child-sum tree-LSTM.
+
+    Defaults follow Section V-C: embedding λ=120, 100 hidden states —
+    shrink both for quick experiments.
+    """
+
+    def __init__(self, vocab_size: int, embedding_dim: int = 120,
+                 hidden_size: int = 100, num_layers: int = 1,
+                 direction: str = "alternating",
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.embedding = Embedding(vocab_size, embedding_dim, rng=rng)
+        self.stack = TreeLSTMStack(embedding_dim, hidden_size,
+                                   num_layers=num_layers,
+                                   direction=direction, rng=rng)
+        self.output_size = self.stack.output_size
+
+    def forward(self, features: TreeFeatures) -> Tensor:
+        """Latent code vector z for one AST (shape: (hidden,))."""
+        x = self.embedding(features.node_ids)
+        return self.stack.encode(x, features.schedule)
+
+    def node_states(self, features: TreeFeatures) -> Tensor:
+        """All node hidden states, for visualization (Fig. 7)."""
+        x = self.embedding(features.node_ids)
+        return self.stack(x, features.schedule)
+
+
+class GcnEncoder(Module):
+    """Embedding lookup + graph convolution stack (baseline F)."""
+
+    def __init__(self, vocab_size: int, embedding_dim: int = 120,
+                 hidden_size: int = 117, num_layers: int = 6,
+                 readout: str = "mean",
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.embedding = Embedding(vocab_size, embedding_dim, rng=rng)
+        self.gcn = GCN(embedding_dim, hidden_size, num_layers=num_layers,
+                       readout=readout, rng=rng)
+        self.output_size = self.gcn.output_size
+
+    def forward(self, features: TreeFeatures) -> Tensor:
+        x = self.embedding(features.node_ids)
+        return self.gcn.encode(x, features.adjacency, root=features.root)
+
+    def node_states(self, features: TreeFeatures) -> Tensor:
+        x = self.embedding(features.node_ids)
+        return self.gcn(x, features.adjacency)

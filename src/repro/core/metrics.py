@@ -1,0 +1,66 @@
+"""Evaluation metrics: accuracy, confusion counts, ROC / AUC (Fig. 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["accuracy", "confusion", "RocCurve", "roc_curve", "auc"]
+
+
+def accuracy(labels, probabilities, threshold: float = 0.5) -> float:
+    """Fraction of pairs classified correctly at ``threshold``."""
+    y = np.asarray(labels)
+    p = np.asarray(probabilities)
+    if y.shape != p.shape:
+        raise ValueError(f"shape mismatch: {y.shape} vs {p.shape}")
+    if y.size == 0:
+        raise ValueError("cannot compute accuracy of an empty set")
+    return float(((p >= threshold).astype(int) == y).mean())
+
+
+def confusion(labels, probabilities, threshold: float = 0.5) -> dict:
+    y = np.asarray(labels)
+    pred = (np.asarray(probabilities) >= threshold).astype(int)
+    return {
+        "tp": int(((pred == 1) & (y == 1)).sum()),
+        "fp": int(((pred == 1) & (y == 0)).sum()),
+        "tn": int(((pred == 0) & (y == 0)).sum()),
+        "fn": int(((pred == 0) & (y == 1)).sum()),
+    }
+
+
+@dataclass
+class RocCurve:
+    """False/true positive rates over descending thresholds."""
+
+    thresholds: np.ndarray
+    fpr: np.ndarray
+    tpr: np.ndarray
+
+    @property
+    def auc(self) -> float:
+        return float(np.trapezoid(self.tpr, self.fpr))
+
+
+def roc_curve(labels, probabilities) -> RocCurve:
+    """ROC by sweeping the confidence threshold (paper Section VI-B)."""
+    y = np.asarray(labels, dtype=int)
+    p = np.asarray(probabilities, dtype=float)
+    if y.size == 0:
+        raise ValueError("cannot compute a ROC curve from no pairs")
+    positives = max(1, int((y == 1).sum()))
+    negatives = max(1, int((y == 0).sum()))
+    order = np.argsort(-p)
+    sorted_y = y[order]
+    tp = np.cumsum(sorted_y == 1)
+    fp = np.cumsum(sorted_y == 0)
+    thresholds = np.concatenate([[np.inf], p[order]])
+    tpr = np.concatenate([[0.0], tp / positives])
+    fpr = np.concatenate([[0.0], fp / negatives])
+    return RocCurve(thresholds=thresholds, fpr=fpr, tpr=tpr)
+
+
+def auc(labels, probabilities) -> float:
+    return roc_curve(labels, probabilities).auc

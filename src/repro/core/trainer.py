@@ -1,0 +1,123 @@
+"""Training loop: mini-batch BCE over code pairs (paper Section IV-D)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.batching import iter_batches
+from ..data.pairs import CodePair
+from ..nn.loss import bce_with_logits
+from ..nn.optim import Adam, clip_grad_norm
+from ..nn.tensor import Tensor, no_grad
+from .model import ComparativeModel
+
+__all__ = ["TrainConfig", "TrainHistory", "Trainer"]
+
+
+@dataclass
+class TrainConfig:
+    epochs: int = 12
+    batch_size: int = 16
+    learning_rate: float = 5e-3
+    grad_clip: float = 5.0
+    seed: int = 0
+    early_stop_patience: int = 0   # 0 disables early stopping
+    verbose: bool = False
+
+
+@dataclass
+class TrainHistory:
+    losses: list[float] = field(default_factory=list)
+    val_accuracies: list[float] = field(default_factory=list)
+    grad_norms: list[float] = field(default_factory=list)
+    stopped_early: bool = False
+
+
+class Trainer:
+    """Optimizes a :class:`ComparativeModel` on labelled pairs."""
+
+    def __init__(self, model: ComparativeModel, config: TrainConfig | None = None):
+        self.model = model
+        self.config = config or TrainConfig()
+        self.optimizer = Adam(model.parameters(),
+                              lr=self.config.learning_rate)
+
+    # ------------------------------------------------------------------
+    def _featurize_pairs(self, pairs: list[CodePair]):
+        featurize = self.model.featurizer
+        return [(featurize(p.first.source), featurize(p.second.source),
+                 p.label) for p in pairs]
+
+    def _batch_loss(self, batch) -> Tensor:
+        logits = [self.model.pair_logit(fi, fj) for fi, fj, _ in batch]
+        targets = np.array([label for _, _, label in batch], dtype=float)
+        return bce_with_logits(Tensor.stack(logits, axis=0), targets)
+
+    # ------------------------------------------------------------------
+    def fit(self, train_pairs: list[CodePair],
+            val_pairs: list[CodePair] | None = None) -> TrainHistory:
+        if not train_pairs:
+            raise ValueError("no training pairs")
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        history = TrainHistory()
+        prepared = self._featurize_pairs(train_pairs)
+        best_val = -1.0
+        patience_left = cfg.early_stop_patience
+
+        for epoch in range(cfg.epochs):
+            order = np.arange(len(prepared))
+            rng.shuffle(order)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, len(prepared), cfg.batch_size):
+                batch = [prepared[int(k)] for k in order[start:start + cfg.batch_size]]
+                self.optimizer.zero_grad()
+                loss = self._batch_loss(batch)
+                loss.backward()
+                norm = clip_grad_norm(self.model.parameters(), cfg.grad_clip)
+                history.grad_norms.append(norm)
+                self.optimizer.step()
+                epoch_loss += loss.item()
+                batches += 1
+            history.losses.append(epoch_loss / max(1, batches))
+
+            if val_pairs:
+                val_acc = self.evaluate_accuracy(val_pairs)
+                history.val_accuracies.append(val_acc)
+                if cfg.early_stop_patience > 0:
+                    if val_acc > best_val + 1e-9:
+                        best_val = val_acc
+                        patience_left = cfg.early_stop_patience
+                    else:
+                        patience_left -= 1
+                        if patience_left <= 0:
+                            history.stopped_early = True
+                            break
+            if cfg.verbose:  # pragma: no cover - logging only
+                msg = f"epoch {epoch + 1}/{cfg.epochs} loss={history.losses[-1]:.4f}"
+                if val_pairs:
+                    msg += f" val_acc={history.val_accuracies[-1]:.3f}"
+                print(msg)
+        return history
+
+    # ------------------------------------------------------------------
+    def predict_probabilities(self, pairs: list[CodePair]) -> np.ndarray:
+        probs = []
+        with no_grad():
+            for pair in pairs:
+                fi = self.model.featurizer(pair.first.source)
+                fj = self.model.featurizer(pair.second.source)
+                probs.append(float(self.model.pair_logit(fi, fj)
+                                   .sigmoid().data))
+        return np.asarray(probs)
+
+    def evaluate_accuracy(self, pairs: list[CodePair],
+                          threshold: float = 0.5) -> float:
+        from .metrics import accuracy
+
+        probs = self.predict_probabilities(pairs)
+        labels = np.array([p.label for p in pairs])
+        return accuracy(labels, probs, threshold=threshold)

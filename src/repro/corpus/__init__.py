@@ -1,0 +1,26 @@
+"""Synthetic Codeforces-style corpus.
+
+The paper's dataset is 4.3M scraped submissions; offline we *generate*
+submissions: problem families fabricate test cases and emit accepted
+solutions spanning genuinely different algorithms (different asymptotic
+cost) and surface styles, and the :class:`~repro.corpus.collector.Collector`
+judges each one on the simulated machine to obtain runtime labels.
+"""
+
+from .collector import CollectionReport, Collector
+from .database import ProblemStats, SubmissionDatabase
+from .generators import GeneratedSolution, ProblemFamily, mp_pool
+from .problem import ProblemSpec, Submission
+from .registry import (
+    TABLE1_COUNTS, TABLE1_TAGS, family_for_tag, mp_families, table1_families,
+)
+from .styles import Style
+
+__all__ = [
+    "ProblemSpec", "Submission", "Style",
+    "ProblemFamily", "GeneratedSolution",
+    "Collector", "CollectionReport",
+    "SubmissionDatabase", "ProblemStats",
+    "TABLE1_TAGS", "TABLE1_COUNTS", "family_for_tag", "table1_families",
+    "mp_families", "mp_pool",
+]

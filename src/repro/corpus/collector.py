@@ -1,0 +1,98 @@
+"""Data-collection tool against the simulated platform.
+
+Mirrors the paper's Python scraper (Section II-A): for each problem,
+generate candidate submissions, judge each one, "disregard any
+submission marked incorrect", and record accepted solutions with their
+mean runtime and memory usage in the database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..judge.machine import MachineProfile
+from ..judge.runner import Judge, Verdict
+from .database import SubmissionDatabase
+from .generators.base import ProblemFamily
+from .problem import Submission
+
+__all__ = ["CollectionReport", "Collector"]
+
+
+@dataclass
+class CollectionReport:
+    """Bookkeeping from one collection run."""
+
+    accepted: int = 0
+    rejected: int = 0
+    verdict_counts: dict = field(default_factory=dict)
+
+    def note(self, verdict: Verdict) -> None:
+        name = verdict.value
+        self.verdict_counts[name] = self.verdict_counts.get(name, 0) + 1
+        if verdict is Verdict.OK:
+            self.accepted += 1
+        else:
+            self.rejected += 1
+
+
+class Collector:
+    """Builds a :class:`SubmissionDatabase` from problem families."""
+
+    def __init__(self, machine: MachineProfile | None = None,
+                 seed: int = 1278, strict: bool = True):
+        self.machine = machine or MachineProfile(cycles_per_ms=2000.0)
+        self.seed = seed
+        #: In strict mode a rejected generated solution is a bug in the
+        #: generator and raises; in lenient mode it is skipped (the
+        #: paper's tool simply drops incorrect submissions).
+        self.strict = strict
+
+    def collect(self, families: list[ProblemFamily], per_problem: int,
+                database: SubmissionDatabase | None = None,
+                report: CollectionReport | None = None) -> SubmissionDatabase:
+        """Generate and judge ``per_problem`` submissions per family."""
+        if per_problem < 1:
+            raise ValueError("per_problem must be >= 1")
+        db = database if database is not None else SubmissionDatabase()
+        report = report if report is not None else CollectionReport()
+        next_id = len(db) + 1
+        for family in families:
+            spec = family.spec()
+            judge = Judge(machine=self.machine,
+                          time_limit_ms=spec.time_limit_ms)
+            rng = np.random.default_rng(
+                (self.seed * 1_000_003 + hash(family.tag)) % (2 ** 63))
+            produced = 0
+            attempts = 0
+            while produced < per_problem:
+                attempts += 1
+                if attempts > per_problem * 3 + 20:
+                    raise RuntimeError(
+                        f"problem {family.tag}: too many rejected solutions")
+                solution = family.generate(rng)
+                judge_report = judge.judge_source(solution.source, spec.tests)
+                report.note(judge_report.verdict)
+                if judge_report.verdict is not Verdict.OK:
+                    if self.strict:
+                        raise RuntimeError(
+                            f"generator bug for {family.tag}: verdict "
+                            f"{judge_report.verdict.value} "
+                            f"({judge_report.message})\n--- source ---\n"
+                            f"{solution.source}")
+                    continue
+                db.add(Submission(
+                    problem_tag=family.tag,
+                    submission_id=next_id,
+                    source=solution.source,
+                    mean_runtime_ms=judge_report.mean_runtime_ms,
+                    max_runtime_ms=judge_report.max_runtime_ms,
+                    memory_kb=judge_report.peak_memory_kb,
+                    variant=solution.variant,
+                    extra=dict(solution.knobs),
+                ))
+                next_id += 1
+                produced += 1
+        return db

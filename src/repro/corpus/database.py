@@ -1,0 +1,90 @@
+"""Submission database: storage, queries, Table-I style statistics.
+
+The paper's collection tool "enters each problem set along with source
+code, source language, runtime, and memory usage properties to a
+database". This is that database, with JSONL persistence so expensive
+corpus builds are generated once and reloaded by tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from .problem import Submission
+
+__all__ = ["ProblemStats", "SubmissionDatabase"]
+
+
+@dataclass(frozen=True)
+class ProblemStats:
+    """One row of Table I."""
+
+    tag: str
+    count: int
+    min_ms: float
+    median_ms: float
+    max_ms: float
+    stddev_ms: float
+
+
+class SubmissionDatabase:
+    """In-memory submission store keyed by problem tag."""
+
+    def __init__(self):
+        self._by_problem: dict[str, list[Submission]] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, submission: Submission) -> None:
+        self._by_problem.setdefault(submission.problem_tag, []).append(submission)
+
+    def problems(self) -> list[str]:
+        return sorted(self._by_problem)
+
+    def submissions(self, tag: str) -> list[Submission]:
+        if tag not in self._by_problem:
+            raise KeyError(f"no submissions for problem {tag!r}")
+        return list(self._by_problem[tag])
+
+    def __len__(self) -> int:
+        return sum(len(subs) for subs in self._by_problem.values())
+
+    def __contains__(self, tag: str) -> bool:
+        return tag in self._by_problem
+
+    # ------------------------------------------------------------------
+    def stats(self, tag: str) -> ProblemStats:
+        subs = self.submissions(tag)
+        runtimes = [s.mean_runtime_ms for s in subs]
+        return ProblemStats(
+            tag=tag,
+            count=len(subs),
+            min_ms=min(runtimes),
+            median_ms=statistics.median(runtimes),
+            max_ms=max(runtimes),
+            stddev_ms=statistics.pstdev(runtimes) if len(runtimes) > 1 else 0.0,
+        )
+
+    def all_stats(self) -> list[ProblemStats]:
+        return [self.stats(tag) for tag in self.problems()]
+
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            for tag in self.problems():
+                for sub in self._by_problem[tag]:
+                    handle.write(json.dumps(asdict(sub)) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "SubmissionDatabase":
+        db = cls()
+        with Path(path).open() as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    db.add(Submission(**json.loads(line)))
+        return db

@@ -1,0 +1,23 @@
+"""Solution/test generators: one family per problem (Table I A-I + MP)."""
+
+from .base import GeneratedSolution, ProblemFamily
+from .dp import CoinWaysFamily
+from .extra import (
+    FrequencyFamily, MaxSubarrayFamily, MembershipFamily, PairSumFamily,
+    PrefixRangeSumFamily, SelectionSortFamily, mp_pool,
+)
+from .graphs import BfsDepthFamily, DagLongestPathFamily, SubtreeSizeFamily
+from .greedy import DistinctPairsFamily, IntervalFamily
+from .hashing import RegistrationFamily
+from .number_theory import RangeGcdFamily, TPrimeFamily
+
+__all__ = [
+    "ProblemFamily", "GeneratedSolution",
+    "RegistrationFamily", "TPrimeFamily", "RangeGcdFamily",
+    "IntervalFamily", "DistinctPairsFamily",
+    "SubtreeSizeFamily", "BfsDepthFamily", "DagLongestPathFamily",
+    "CoinWaysFamily",
+    "PairSumFamily", "MaxSubarrayFamily", "FrequencyFamily",
+    "MembershipFamily", "SelectionSortFamily", "PrefixRangeSumFamily",
+    "mp_pool",
+]

@@ -1,0 +1,81 @@
+"""Base class for problem families (generator + tests + reference).
+
+A :class:`ProblemFamily` plays the role of one Codeforces problem: it
+fabricates judge test cases (with expected outputs computed by a Python
+reference implementation) and emits an endless variety of *accepted*
+C++ solutions that differ in algorithm choice (hence asymptotic cost),
+micro-structure (redundant passes, extra copies) and surface style.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...judge.runner import TestCase
+from ..problem import ProblemSpec
+from ..styles import Style
+
+__all__ = ["GeneratedSolution", "ProblemFamily"]
+
+
+@dataclass
+class GeneratedSolution:
+    """Source text plus generator metadata (never shown to the model)."""
+
+    source: str
+    variant: str
+    knobs: dict
+
+
+class ProblemFamily(ABC):
+    """One problem: subclasses implement tests + solution emission."""
+
+    #: Table-I style identity; subclasses override.
+    tag: str = "?"
+    contest: str = "?"
+    title: str = "?"
+    algorithms: tuple[str, ...] = ()
+    time_limit_ms: float = 60_000.0
+
+    def __init__(self, scale: float = 1.0, num_tests: int = 4, seed: int = 0):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if num_tests < 1:
+            raise ValueError("need at least one test case")
+        self.scale = scale
+        self.num_tests = num_tests
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def build_tests(self, rng: np.random.Generator) -> list[TestCase]:
+        """Fabricate judge tests with reference-computed expected output."""
+
+    @abstractmethod
+    def emit_solution(self, rng: np.random.Generator,
+                      style: Style) -> GeneratedSolution:
+        """Emit one accepted-solution source string."""
+
+    # ------------------------------------------------------------------
+    def spec(self) -> ProblemSpec:
+        rng = np.random.default_rng(self.seed + 0xBEEF)
+        return ProblemSpec(
+            tag=self.tag, contest=self.contest, title=self.title,
+            algorithms=self.algorithms, tests=self.build_tests(rng),
+            time_limit_ms=self.time_limit_ms,
+        )
+
+    def generate(self, rng: np.random.Generator) -> GeneratedSolution:
+        return self.emit_solution(rng, Style(rng))
+
+    # -- shared helpers --------------------------------------------------
+    def scaled(self, base: int, lo: int = 1) -> int:
+        return max(lo, int(base * self.scale))
+
+    @staticmethod
+    def pick(rng: np.random.Generator, options, weights=None):
+        idx = rng.choice(len(options), p=weights)
+        return options[int(idx)]

@@ -1,0 +1,155 @@
+"""Problem H — "Coin ways" (DP class, 489C spirit).
+
+Count the number of ways to write ``n`` as an ordered sum of elements
+of a small coin set, modulo 1e9+7, answered for ``t`` targets. Accepted
+variants: a single shared bottom-up table (fast), a 2-D table with more
+copying, and a from-scratch recompute per query (slow). Per Table I,
+problem H runtimes are small across the board, so the family's sizes
+are kept modest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...judge.runner import TestCase
+from ..styles import Style
+from .base import GeneratedSolution, ProblemFamily
+
+__all__ = ["CoinWaysFamily"]
+
+_MOD = 1_000_000_007
+_COINS = (1, 2, 3, 5)
+
+
+def _ways_upto(limit: int) -> list[int]:
+    dp = [0] * (limit + 1)
+    dp[0] = 1
+    for target in range(1, limit + 1):
+        total = 0
+        for coin in _COINS:
+            if coin <= target:
+                total += dp[target - coin]
+        dp[target] = total % _MOD
+    return dp
+
+
+class CoinWaysFamily(ProblemFamily):
+    tag = "H"
+    contest = "489 C"
+    title = "Coin ways"
+    algorithms = ("Dynamic programming (DP)",)
+
+    def __init__(self, scale: float = 1.0, num_tests: int = 4, seed: int = 0):
+        super().__init__(scale=scale, num_tests=num_tests, seed=seed)
+        self.base_limit = 260
+        self.base_t = 5
+
+    def build_tests(self, rng: np.random.Generator) -> list[TestCase]:
+        tests = []
+        for _ in range(self.num_tests):
+            limit = self.scaled(self.base_limit) + int(rng.integers(0, 40))
+            t = self.base_t + int(rng.integers(0, 4))
+            targets = [int(rng.integers(1, limit + 1)) for _ in range(t)]
+            table = _ways_upto(limit)
+            lines = [str(t)] + [str(x) for x in targets]
+            expected = "\n".join(str(table[x]) for x in targets)
+            tests.append(TestCase(input_text="\n".join(lines) + "\n",
+                                  expected_output=expected + "\n"))
+        return tests
+
+    def emit_solution(self, rng: np.random.Generator,
+                      style: Style) -> GeneratedSolution:
+        variant = self.pick(rng, ("shared_table", "table_2d", "per_query"),
+                            weights=(0.4, 0.25, 0.35))
+        render = {"shared_table": self._shared, "table_2d": self._table2d,
+                  "per_query": self._per_query}[variant]
+        return GeneratedSolution(source=f"{style.header()}\n{render(style)}\n",
+                                 variant=variant, knobs={})
+
+    def _coins_decl(self) -> str:
+        coins = ", ".join(map(str, _COINS))
+        items = "".join(
+            f"coins.push_back({c});\n" for c in _COINS)
+        return f"vector<int> coins;\n", items
+
+    def _shared(self, style: Style) -> str:
+        t, i, x = style.name("n"), style.name("i"), style.name("x")
+        decl, pushes = self._coins_decl()
+        return f"""
+{decl}int main() {{
+    {pushes}int {t};
+    cin >> {t};
+    vector<int> qs({t}, 0);
+    int mx = 1;
+    for (int {i} = 0; {style.lt(i, t)}; {style.incr(i)}) {{
+        cin >> qs[{i}];
+        mx = max(mx, qs[{i}]);
+    }}
+    vector<long long> dp(mx + 1, 0);
+    dp[0] = 1;
+    for (int v = 1; v <= mx; {style.incr('v')}) {{
+        for (int c = 0; c < coins.size(); {style.incr('c')}) {{
+            if (coins[c] <= v) dp[v] += dp[v - coins[c]];
+        }}
+        dp[v] = dp[v] % 1000000007;
+    }}
+    for (int {i} = 0; {style.lt(i, t)}; {style.incr(i)})
+        cout << dp[qs[{i}]] << {style.endl()};
+    return 0;
+}}"""
+
+    def _table2d(self, style: Style) -> str:
+        t, i = style.name("n"), style.name("i")
+        decl, pushes = self._coins_decl()
+        return f"""
+{decl}int main() {{
+    {pushes}int {t};
+    cin >> {t};
+    vector<int> qs({t}, 0);
+    int mx = 1;
+    for (int {i} = 0; {style.lt(i, t)}; {style.incr(i)}) {{
+        cin >> qs[{i}];
+        mx = max(mx, qs[{i}]);
+    }}
+    vector<vector<long long>> dp(mx + 1, vector<long long>(2, 0));
+    dp[0][0] = 1;
+    dp[0][1] = 1;
+    for (int v = 1; v <= mx; {style.incr('v')}) {{
+        long long acc = 0;
+        for (int c = 0; c < coins.size(); {style.incr('c')}) {{
+            if (coins[c] <= v) acc += dp[v - coins[c]][0];
+        }}
+        dp[v][0] = acc % 1000000007;
+        dp[v][1] = dp[v][0];
+    }}
+    for (int {i} = 0; {style.lt(i, t)}; {style.incr(i)})
+        cout << dp[qs[{i}]][1] << {style.endl()};
+    return 0;
+}}"""
+
+    def _per_query(self, style: Style) -> str:
+        t, i, x = style.name("n"), style.name("i"), style.name("x")
+        decl, pushes = self._coins_decl()
+        return f"""
+{decl}long long solve(int target) {{
+    vector<long long> dp(target + 1, 0);
+    dp[0] = 1;
+    for (int v = 1; v <= target; {style.incr('v')}) {{
+        for (int c = 0; c < coins.size(); {style.incr('c')}) {{
+            if (coins[c] <= v) dp[v] += dp[v - coins[c]];
+        }}
+        dp[v] = dp[v] % 1000000007;
+    }}
+    return dp[target];
+}}
+int main() {{
+    {pushes}int {t};
+    cin >> {t};
+    for (int {i} = 0; {style.lt(i, t)}; {style.incr(i)}) {{
+        int {x};
+        cin >> {x};
+        cout << solve({x}) << {style.endl()};
+    }}
+    return 0;
+}}"""

@@ -1,0 +1,344 @@
+"""The MP pool: parametric problem families for the 100-problem dataset.
+
+Section VI-A of the paper builds a combined model from "100 submissions
+picked randomly from 100 different problems". We fabricate that pool
+from six parametric families — each instantiation (different sizes,
+seeds, and output conventions) acts as a distinct problem with its own
+tests, while every family retains a fast/slow algorithmic split so
+runtimes vary within each problem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...judge.runner import TestCase
+from ..styles import Style
+from .base import GeneratedSolution, ProblemFamily
+
+__all__ = ["PairSumFamily", "MaxSubarrayFamily", "FrequencyFamily",
+           "MembershipFamily", "SelectionSortFamily", "PrefixRangeSumFamily",
+           "mp_pool"]
+
+
+class _ParametricFamily(ProblemFamily):
+    """Shared plumbing: tag/size/seed parameterization."""
+
+    base_title = "?"
+
+    def __init__(self, tag: str, scale: float = 1.0, num_tests: int = 3,
+                 seed: int = 0):
+        super().__init__(scale=scale, num_tests=num_tests, seed=seed)
+        self.tag = tag
+        self.contest = f"MP {tag}"
+        self.title = f"{self.base_title} #{tag}"
+
+
+class PairSumFamily(_ParametricFamily):
+    """Count index pairs with a_i + a_j == S. map-count O(n) vs O(n^2)."""
+
+    base_title = "Pair sum"
+    algorithms = ("Hashing",)
+
+    def build_tests(self, rng):
+        tests = []
+        for _ in range(self.num_tests):
+            n = self.scaled(110) + int(rng.integers(0, 20))
+            values = [int(rng.integers(0, 50)) for _ in range(n)]
+            target = int(rng.integers(10, 80))
+            count = sum(1 for i in range(n) for j in range(i + 1, n)
+                        if values[i] + values[j] == target)
+            lines = [f"{n} {target}", " ".join(map(str, values))]
+            tests.append(TestCase("\n".join(lines) + "\n", f"{count}\n"))
+        return tests
+
+    def emit_solution(self, rng, style: Style) -> GeneratedSolution:
+        variant = self.pick(rng, ("map_count", "double_loop"))
+        n, i, j, v, ans = (style.name(k) for k in ("n", "i", "j", "v", "ans"))
+        ll = style.ll_type()
+        read = style.counted_loop(i, n, f"cin >> {v}[{i}];")
+        if variant == "map_count":
+            body = (
+                f"map<int, int> seen;\n{ll} {ans} = 0;\n"
+                + style.counted_loop(
+                    j, n,
+                    f"int need = target - {v}[{j}];\n"
+                    f"if (seen.count(need) == 1) {ans} += seen[need];\n"
+                    f"seen[{v}[{j}]] = seen[{v}[{j}]] + 1;")
+            )
+        else:
+            o = style.fresh("o")
+            body = (
+                f"{ll} {ans} = 0;\n"
+                f"for (int {o} = 0; {style.lt(o, n)}; {style.incr(o)})\n"
+                f"for (int {j} = {o} + 1; {style.lt(j, n)}; {style.incr(j)})\n"
+                f"if ({v}[{o}] + {v}[{j}] == target) {style.incr(ans)};"
+            )
+        source = (f"{style.header()}\nint main() {{\n"
+                  f"int {n}, target;\ncin >> {n} >> target;\n"
+                  f"vector<int> {v}({n}, 0);\n{read}\n{body}\n"
+                  f"cout << {ans} << {style.endl()};\nreturn 0;\n}}\n")
+        return GeneratedSolution(source=source, variant=variant, knobs={})
+
+
+class MaxSubarrayFamily(_ParametricFamily):
+    """Maximum subarray sum. Kadane O(n) vs all-prefix O(n^2)."""
+
+    base_title = "Max subarray"
+    algorithms = ("DP",)
+
+    def build_tests(self, rng):
+        tests = []
+        for _ in range(self.num_tests):
+            n = self.scaled(120) + int(rng.integers(0, 20))
+            values = [int(rng.integers(-30, 40)) for _ in range(n)]
+            best = -10 ** 9
+            cur = 0
+            for x in values:
+                cur = max(x, cur + x)
+                best = max(best, cur)
+            lines = [str(n), " ".join(map(str, values))]
+            tests.append(TestCase("\n".join(lines) + "\n", f"{best}\n"))
+        return tests
+
+    def emit_solution(self, rng, style: Style) -> GeneratedSolution:
+        variant = self.pick(rng, ("kadane", "prefix_scan"))
+        n, i, j, v = (style.name(k) for k in ("n", "i", "j", "v"))
+        ll = style.ll_type()
+        read = style.counted_loop(i, n, f"cin >> {v}[{i}];")
+        if variant == "kadane":
+            body = (
+                f"{ll} best = -1000000000;\n{ll} cur = 0;\n"
+                + style.counted_loop(
+                    j, n,
+                    f"cur = cur + {v}[{j}];\n"
+                    f"if ({v}[{j}] > cur) cur = {v}[{j}];\n"
+                    f"if (cur > best) best = cur;")
+            )
+        else:
+            o = style.fresh("o")
+            body = (
+                f"{ll} best = -1000000000;\n"
+                f"for (int {o} = 0; {style.lt(o, n)}; {style.incr(o)}) {{\n"
+                f"{ll} run = 0;\n"
+                f"for (int {j} = {o}; {style.lt(j, n)}; {style.incr(j)}) {{\n"
+                f"run = run + {v}[{j}];\n"
+                f"if (run > best) best = run;\n}}\n}}"
+            )
+        source = (f"{style.header()}\nint main() {{\nint {n};\ncin >> {n};\n"
+                  f"vector<int> {v}({n}, 0);\n{read}\n{body}\n"
+                  f"cout << best << {style.endl()};\nreturn 0;\n}}\n")
+        return GeneratedSolution(source=source, variant=variant, knobs={})
+
+
+class FrequencyFamily(_ParametricFamily):
+    """Most frequent value (smallest wins ties). map O(n log n) vs O(n^2)."""
+
+    base_title = "Mode"
+    algorithms = ("Hashing",)
+
+    def build_tests(self, rng):
+        tests = []
+        for _ in range(self.num_tests):
+            n = self.scaled(100) + int(rng.integers(0, 15))
+            values = [int(rng.integers(0, max(4, n // 4))) for _ in range(n)]
+            counts: dict[int, int] = {}
+            for x in values:
+                counts[x] = counts.get(x, 0) + 1
+            best = min(sorted(counts), key=lambda k: (-counts[k], k))
+            lines = [str(n), " ".join(map(str, values))]
+            tests.append(TestCase("\n".join(lines) + "\n",
+                                  f"{best} {counts[best]}\n"))
+        return tests
+
+    def emit_solution(self, rng, style: Style) -> GeneratedSolution:
+        variant = self.pick(rng, ("map_pass", "nested_count"))
+        n, i, j, v = (style.name(k) for k in ("n", "i", "j", "v"))
+        read = style.counted_loop(i, n, f"cin >> {v}[{i}];")
+        if variant == "map_pass":
+            s = style.fresh("w")
+            body = (
+                f"map<int, int> freq;\n"
+                + style.counted_loop(
+                    j, n, f"freq[{v}[{j}]] = freq[{v}[{j}]] + 1;")
+                + f"\nint bestVal = -1;\nint bestCnt = 0;\n"
+                + style.counted_loop(
+                    s, n,
+                    f"int val = {v}[{s}];\nint c = freq[val];\n"
+                    f"if (c > bestCnt || (c == bestCnt && val < bestVal)) {{\n"
+                    f"bestCnt = c;\nbestVal = val;\n}}")
+            )
+        else:
+            o = style.fresh("o")
+            body = (
+                f"int bestVal = -1;\nint bestCnt = 0;\n"
+                f"for (int {o} = 0; {style.lt(o, n)}; {style.incr(o)}) {{\n"
+                f"int c = 0;\n"
+                f"for (int {j} = 0; {style.lt(j, n)}; {style.incr(j)})\n"
+                f"if ({v}[{j}] == {v}[{o}]) {style.incr('c')};\n"
+                f"if (c > bestCnt || (c == bestCnt && {v}[{o}] < bestVal)) {{\n"
+                f"bestCnt = c;\nbestVal = {v}[{o}];\n}}\n}}"
+            )
+        source = (f"{style.header()}\nint main() {{\nint {n};\ncin >> {n};\n"
+                  f"vector<int> {v}({n}, 0);\n{read}\n{body}\n"
+                  f"cout << bestVal << ' ' << bestCnt << {style.endl()};\n"
+                  f"return 0;\n}}\n")
+        return GeneratedSolution(source=source, variant=variant, knobs={})
+
+
+class MembershipFamily(_ParametricFamily):
+    """q membership queries. set O(log n) vs linear scan per query."""
+
+    base_title = "Membership"
+    algorithms = ("Binary search",)
+
+    def build_tests(self, rng):
+        tests = []
+        for _ in range(self.num_tests):
+            n = self.scaled(130) + int(rng.integers(0, 20))
+            q = max(10, n // 2)
+            values = [int(rng.integers(0, 2000)) for _ in range(n)]
+            queries = [int(rng.integers(0, 2000)) for _ in range(q)]
+            present = set(values)
+            expected = "\n".join("YES" if x in present else "NO"
+                                 for x in queries)
+            lines = [f"{n} {q}", " ".join(map(str, values)),
+                     " ".join(map(str, queries))]
+            tests.append(TestCase("\n".join(lines) + "\n", expected + "\n"))
+        return tests
+
+    def emit_solution(self, rng, style: Style) -> GeneratedSolution:
+        variant = self.pick(rng, ("set_lookup", "linear_scan"))
+        n, i, j, v, x = (style.name(k) for k in ("n", "i", "j", "v", "x"))
+        read = style.counted_loop(i, n, f"cin >> {v}[{i}];")
+        if variant == "set_lookup":
+            prep = (f"set<int> present;\n"
+                    + style.counted_loop(j, n, f"present.insert({v}[{j}]);"))
+            answer = (f"if (present.count({x}) == 1) cout << \"YES\" << {style.endl()};\n"
+                      f"else cout << \"NO\" << {style.endl()};")
+        else:
+            prep = ""
+            answer = (f"int found = 0;\n"
+                      + style.counted_loop(
+                          j, n, f"if ({v}[{j}] == {x}) found = 1;")
+                      + f"\nif (found == 1) cout << \"YES\" << {style.endl()};\n"
+                      f"else cout << \"NO\" << {style.endl()};")
+        query_loop = style.counted_loop(
+            style.fresh("t"), "q", f"int {x};\ncin >> {x};\n{answer}")
+        source = (f"{style.header()}\nint main() {{\n"
+                  f"int {n}, q;\ncin >> {n} >> q;\n"
+                  f"vector<int> {v}({n}, 0);\n{read}\n{prep}\n{query_loop}\n"
+                  f"return 0;\n}}\n")
+        return GeneratedSolution(source=source, variant=variant, knobs={})
+
+
+class SelectionSortFamily(_ParametricFamily):
+    """Print the k smallest values. std::sort vs selection sort."""
+
+    base_title = "Partial sort"
+    algorithms = ("Greedy",)
+
+    def build_tests(self, rng):
+        tests = []
+        for _ in range(self.num_tests):
+            n = self.scaled(110) + int(rng.integers(0, 15))
+            k = max(1, n // 10)
+            values = [int(rng.integers(0, 10_000)) for _ in range(n)]
+            expected = " ".join(map(str, sorted(values)[:k]))
+            lines = [f"{n} {k}", " ".join(map(str, values))]
+            tests.append(TestCase("\n".join(lines) + "\n", expected + "\n"))
+        return tests
+
+    def emit_solution(self, rng, style: Style) -> GeneratedSolution:
+        variant = self.pick(rng, ("std_sort", "selection"))
+        n, i, j, v = (style.name(k) for k in ("n", "i", "j", "v"))
+        read = style.counted_loop(i, n, f"cin >> {v}[{i}];")
+        if variant == "std_sort":
+            body = (f"sort({v}.begin(), {v}.end());\n"
+                    + style.counted_loop(
+                        j, "k", f"cout << {v}[{j}] << ' ';"))
+        else:
+            o = style.fresh("o")
+            body = (
+                f"for (int {o} = 0; {o} < k; {style.incr(o)}) {{\n"
+                f"int bi = {o};\n"
+                f"for (int {j} = {o} + 1; {style.lt(j, n)}; {style.incr(j)})\n"
+                f"if ({v}[{j}] < {v}[bi]) bi = {j};\n"
+                f"swap({v}[{o}], {v}[bi]);\n"
+                f"cout << {v}[{o}] << ' ';\n}}"
+            )
+        source = (f"{style.header()}\nint main() {{\n"
+                  f"int {n}, k;\ncin >> {n} >> k;\n"
+                  f"vector<int> {v}({n}, 0);\n{read}\n{body}\n"
+                  f"cout << {style.endl()};\nreturn 0;\n}}\n")
+        return GeneratedSolution(source=source, variant=variant, knobs={})
+
+
+class PrefixRangeSumFamily(_ParametricFamily):
+    """q range-sum queries. Prefix sums O(1)/query vs loop O(n)/query."""
+
+    base_title = "Range sums"
+    algorithms = ("Data structure",)
+
+    def build_tests(self, rng):
+        tests = []
+        for _ in range(self.num_tests):
+            n = self.scaled(140) + int(rng.integers(0, 20))
+            q = max(10, n // 3)
+            values = [int(rng.integers(0, 100)) for _ in range(n)]
+            prefix = [0]
+            for x in values:
+                prefix.append(prefix[-1] + x)
+            queries = []
+            for _ in range(q):
+                lo = int(rng.integers(0, n))
+                hi = int(rng.integers(lo, n))
+                queries.append((lo, hi))
+            expected = "\n".join(str(prefix[hi + 1] - prefix[lo])
+                                 for lo, hi in queries)
+            lines = [f"{n} {q}", " ".join(map(str, values))]
+            lines += [f"{lo} {hi}" for lo, hi in queries]
+            tests.append(TestCase("\n".join(lines) + "\n", expected + "\n"))
+        return tests
+
+    def emit_solution(self, rng, style: Style) -> GeneratedSolution:
+        variant = self.pick(rng, ("prefix", "per_query_loop"))
+        n, i, j, v = (style.name(k) for k in ("n", "i", "j", "v"))
+        ll = style.ll_type()
+        read = style.counted_loop(i, n, f"cin >> {v}[{i}];")
+        if variant == "prefix":
+            prep = (f"vector<{ll}> pre({n} + 1, 0);\n"
+                    + style.counted_loop(
+                        j, n, f"pre[{j} + 1] = pre[{j}] + {v}[{j}];"))
+            answer = f"cout << pre[hi + 1] - pre[lo] << {style.endl()};"
+        else:
+            prep = ""
+            answer = (f"{ll} s = 0;\n"
+                      + style.counted_loop(
+                          j, "hi + 1", f"s += {v}[{j}];", start="lo")
+                      + f"\ncout << s << {style.endl()};")
+        query_loop = style.counted_loop(
+            style.fresh("t"), "q",
+            f"int lo, hi;\ncin >> lo >> hi;\n{answer}")
+        source = (f"{style.header()}\nint main() {{\n"
+                  f"int {n}, q;\ncin >> {n} >> q;\n"
+                  f"vector<int> {v}({n}, 0);\n{read}\n{prep}\n{query_loop}\n"
+                  f"return 0;\n}}\n")
+        return GeneratedSolution(source=source, variant=variant, knobs={})
+
+
+_MP_FAMILIES = (PairSumFamily, MaxSubarrayFamily, FrequencyFamily,
+                MembershipFamily, SelectionSortFamily, PrefixRangeSumFamily)
+
+
+def mp_pool(count: int = 100, scale: float = 1.0,
+            base_seed: int = 7_000) -> list[ProblemFamily]:
+    """Instantiate ``count`` distinct MP problems by cycling the
+    parametric families with fresh seeds and mild size jitter."""
+    pool: list[ProblemFamily] = []
+    for index in range(count):
+        cls = _MP_FAMILIES[index % len(_MP_FAMILIES)]
+        jitter = 0.75 + 0.5 * ((index * 37 % 100) / 100.0)
+        pool.append(cls(tag=f"X{index:03d}", scale=scale * jitter,
+                        num_tests=3, seed=base_seed + index))
+    return pool

@@ -1,0 +1,364 @@
+"""Problems F, G and I — the DFS / Graphs / Trees / DP group.
+
+* **F — "Subtree sizes"** (1006 E spirit): given a rooted tree, output
+  the sum over all vertices of their subtree size. Variants: recursive
+  DFS, an index-order bottom-up accumulation, and a quadratic
+  walk-to-root per node.
+
+* **G — "BFS depth sum"** (1037 D spirit): sum of depths of all
+  vertices. Variants: queue BFS, DP over parent order, and a quadratic
+  walk-to-root per node.
+
+* **I — "Longest path in a DAG"** (919 D spirit; DFS + DP + graphs):
+  length of the longest path. Variants: topological DP, memoized
+  DFS, and repeated Bellman-style relaxation rounds.
+
+Trees are generated shallow (each node's parent lies within a bounded
+window before it), keeping interpreter recursion well inside Python's
+limits while preserving the asymptotic gaps between variants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...judge.runner import TestCase
+from ..styles import Style
+from .base import GeneratedSolution, ProblemFamily
+
+__all__ = ["SubtreeSizeFamily", "BfsDepthFamily", "DagLongestPathFamily"]
+
+_PARENT_WINDOW = 24
+
+
+def _random_tree(rng: np.random.Generator, n: int) -> list[int]:
+    """parents[i] for i in 1..n-1 (node 0 is the root), shallow by design."""
+    return [int(rng.integers(max(0, i - _PARENT_WINDOW), i))
+            for i in range(1, n)]
+
+
+class SubtreeSizeFamily(ProblemFamily):
+    tag = "F"
+    contest = "1006 E"
+    title = "Subtree sizes"
+    algorithms = ("DFS", "Graphs", "Trees")
+
+    def __init__(self, scale: float = 1.0, num_tests: int = 4, seed: int = 0):
+        super().__init__(scale=scale, num_tests=num_tests, seed=seed)
+        self.base_n = 200
+
+    def build_tests(self, rng: np.random.Generator) -> list[TestCase]:
+        tests = []
+        for _ in range(self.num_tests):
+            n = self.scaled(self.base_n) + int(rng.integers(0, 30))
+            parents = _random_tree(rng, n)
+            size = [1] * n
+            for i in range(n - 1, 0, -1):
+                size[parents[i - 1]] += size[i]
+            total = sum(size)
+            lines = [str(n), " ".join(map(str, parents))]
+            tests.append(TestCase(input_text="\n".join(lines) + "\n",
+                                  expected_output=f"{total}\n"))
+        return tests
+
+    def emit_solution(self, rng: np.random.Generator,
+                      style: Style) -> GeneratedSolution:
+        variant = self.pick(rng, ("recursive_dfs", "reverse_accumulate",
+                                  "walk_to_root"), weights=(0.35, 0.3, 0.35))
+        render = {"recursive_dfs": self._recursive,
+                  "reverse_accumulate": self._reverse,
+                  "walk_to_root": self._walk}[variant]
+        return GeneratedSolution(source=f"{style.header()}\n{render(style)}\n",
+                                 variant=variant, knobs={})
+
+    def _read_tree(self, style: Style) -> str:
+        n, i = style.name("n"), style.name("i")
+        read = style.counted_loop(
+            i, n, f"cin >> par[{i}];", start="1")
+        return (f"int {n};\ncin >> {n};\n"
+                f"par.resize({n}, 0);\npar[0] = -1;\n{read}")
+
+    def _recursive(self, style: Style) -> str:
+        n = style.name("n")
+        return f"""
+vector<int> par(1, 0);
+vector<vector<int>> kids(1);
+vector<int> sz(1, 0);
+void dfs(int u) {{
+    sz[u] = 1;
+    for (int c = 0; c < kids[u].size(); {style.incr('c')}) {{
+        int w = kids[u][c];
+        dfs(w);
+        sz[u] += sz[w];
+    }}
+}}
+int main() {{
+    {self._read_tree(style)}
+    kids.resize({n});
+    sz.resize({n}, 0);
+    for (int u = 1; u < {n}; {style.incr('u')}) kids[par[u]].push_back(u);
+    dfs(0);
+    long long total = 0;
+    for (int u = 0; u < {n}; {style.incr('u')}) total += sz[u];
+    cout << total << {style.endl()};
+    return 0;
+}}"""
+
+    def _reverse(self, style: Style) -> str:
+        n = style.name("n")
+        return f"""
+vector<int> par(1, 0);
+int main() {{
+    {self._read_tree(style)}
+    vector<long long> sz({n}, 1);
+    for (int u = {n} - 1; u >= 1; u = u - 1) sz[par[u]] += sz[u];
+    long long total = 0;
+    for (int u = 0; u < {n}; {style.incr('u')}) total += sz[u];
+    cout << total << {style.endl()};
+    return 0;
+}}"""
+
+    def _walk(self, style: Style) -> str:
+        n = style.name("n")
+        return f"""
+vector<int> par(1, 0);
+int main() {{
+    {self._read_tree(style)}
+    vector<long long> sz({n}, 0);
+    for (int u = 0; u < {n}; {style.incr('u')}) {{
+        int cur = u;
+        while (cur != -1) {{
+            sz[cur] = sz[cur] + 1;
+            cur = par[cur];
+        }}
+    }}
+    long long total = 0;
+    for (int u = 0; u < {n}; {style.incr('u')}) total += sz[u];
+    cout << total << {style.endl()};
+    return 0;
+}}"""
+
+
+class BfsDepthFamily(ProblemFamily):
+    tag = "G"
+    contest = "1037 D"
+    title = "BFS depth sum"
+    algorithms = ("DFS", "Graphs", "Trees")
+
+    def __init__(self, scale: float = 1.0, num_tests: int = 4, seed: int = 0):
+        super().__init__(scale=scale, num_tests=num_tests, seed=seed)
+        self.base_n = 180
+
+    def build_tests(self, rng: np.random.Generator) -> list[TestCase]:
+        tests = []
+        for _ in range(self.num_tests):
+            n = self.scaled(self.base_n) + int(rng.integers(0, 25))
+            parents = _random_tree(rng, n)
+            depth = [0] * n
+            for i in range(1, n):
+                depth[i] = depth[parents[i - 1]] + 1
+            lines = [str(n), " ".join(map(str, parents))]
+            tests.append(TestCase(input_text="\n".join(lines) + "\n",
+                                  expected_output=f"{sum(depth)}\n"))
+        return tests
+
+    def emit_solution(self, rng: np.random.Generator,
+                      style: Style) -> GeneratedSolution:
+        variant = self.pick(rng, ("bfs_queue", "parent_dp", "walk_to_root"),
+                            weights=(0.35, 0.3, 0.35))
+        render = {"bfs_queue": self._bfs, "parent_dp": self._dp,
+                  "walk_to_root": self._walk}[variant]
+        return GeneratedSolution(source=f"{style.header()}\n{render(style)}\n",
+                                 variant=variant, knobs={})
+
+    def _prefix(self, style: Style) -> str:
+        n, i = style.name("n"), style.name("i")
+        read = style.counted_loop(i, n, f"cin >> par[{i}];", start="1")
+        return (f"int {n};\ncin >> {n};\nvector<int> par({n}, 0);\n"
+                f"par[0] = -1;\n{read}")
+
+    def _bfs(self, style: Style) -> str:
+        n = style.name("n")
+        return f"""
+int main() {{
+    {self._prefix(style)}
+    vector<vector<int>> kids({n});
+    for (int u = 1; u < {n}; {style.incr('u')}) kids[par[u]].push_back(u);
+    vector<long long> depth({n}, 0);
+    queue<int> bfs;
+    bfs.push(0);
+    long long total = 0;
+    while (bfs.empty() == 0) {{
+        int u = bfs.front();
+        bfs.pop();
+        total += depth[u];
+        for (int c = 0; c < kids[u].size(); {style.incr('c')}) {{
+            int w = kids[u][c];
+            depth[w] = depth[u] + 1;
+            bfs.push(w);
+        }}
+    }}
+    cout << total << {style.endl()};
+    return 0;
+}}"""
+
+    def _dp(self, style: Style) -> str:
+        n = style.name("n")
+        return f"""
+int main() {{
+    {self._prefix(style)}
+    vector<long long> depth({n}, 0);
+    long long total = 0;
+    for (int u = 1; u < {n}; {style.incr('u')}) {{
+        depth[u] = depth[par[u]] + 1;
+        total += depth[u];
+    }}
+    cout << total << {style.endl()};
+    return 0;
+}}"""
+
+    def _walk(self, style: Style) -> str:
+        n = style.name("n")
+        return f"""
+int main() {{
+    {self._prefix(style)}
+    long long total = 0;
+    for (int u = 0; u < {n}; {style.incr('u')}) {{
+        int cur = u;
+        long long d = 0;
+        while (par[cur] != -1) {{
+            d = d + 1;
+            cur = par[cur];
+        }}
+        total += d;
+    }}
+    cout << total << {style.endl()};
+    return 0;
+}}"""
+
+
+class DagLongestPathFamily(ProblemFamily):
+    tag = "I"
+    contest = "919 D"
+    title = "Longest path in a DAG"
+    algorithms = ("DFS", "DP", "Graphs")
+
+    def __init__(self, scale: float = 1.0, num_tests: int = 4, seed: int = 0):
+        super().__init__(scale=scale, num_tests=num_tests, seed=seed)
+        self.base_n = 120
+        self.edge_factor = 3
+
+    def build_tests(self, rng: np.random.Generator) -> list[TestCase]:
+        tests = []
+        for _ in range(self.num_tests):
+            n = self.scaled(self.base_n) + int(rng.integers(0, 20))
+            m = min(n * self.edge_factor, n * (n - 1) // 2)
+            edges = set()
+            while len(edges) < m:
+                a = int(rng.integers(0, n - 1))
+                b = int(rng.integers(a + 1, min(n, a + 30)))
+                edges.add((a, b))
+            ordered = sorted(edges)
+            dp = [0] * n
+            for a, b in ordered:         # a < b: index order is topological
+                dp[b] = max(dp[b], dp[a] + 1)
+            best = max(dp)
+            # Present edges in shuffled order: single-pass relaxation in
+            # input order would be wrong, so slow solutions must iterate.
+            shuffled = list(edges)
+            rng.shuffle(shuffled)
+            lines = [f"{n} {len(shuffled)}"] + [f"{a} {b}" for a, b in shuffled]
+            tests.append(TestCase(input_text="\n".join(lines) + "\n",
+                                  expected_output=f"{best}\n"))
+        return tests
+
+    def emit_solution(self, rng: np.random.Generator,
+                      style: Style) -> GeneratedSolution:
+        variant = self.pick(rng, ("topo_dp", "memo_dfs", "relax_rounds"),
+                            weights=(0.35, 0.3, 0.35))
+        render = {"topo_dp": self._topo, "memo_dfs": self._memo,
+                  "relax_rounds": self._relax}[variant]
+        return GeneratedSolution(source=f"{style.header()}\n{render(style)}\n",
+                                 variant=variant, knobs={})
+
+    def _read_edges(self, style: Style) -> str:
+        n, i = style.name("n"), style.name("i")
+        read = style.counted_loop(
+            i, "m", f"cin >> ea[{i}] >> eb[{i}];")
+        return (f"int {n}, m;\ncin >> {n} >> m;\n"
+                f"vector<int> ea(m, 0), eb(m, 0);\n{read}")
+
+    def _topo(self, style: Style) -> str:
+        """Process vertices in index order (a topological order here,
+        since every edge goes from a lower to a higher index)."""
+        n = style.name("n")
+        return f"""
+int main() {{
+    {self._read_edges(style)}
+    vector<vector<int>> adj({n});
+    for (int e = 0; e < m; {style.incr('e')}) adj[ea[e]].push_back(eb[e]);
+    vector<int> dp({n}, 0);
+    for (int u = 0; u < {n}; {style.incr('u')}) {{
+        for (int e = 0; e < adj[u].size(); {style.incr('e')}) {{
+            int w = adj[u][e];
+            if (dp[u] + 1 > dp[w]) dp[w] = dp[u] + 1;
+        }}
+    }}
+    int best = 0;
+    for (int u = 0; u < {n}; {style.incr('u')}) best = max(best, dp[u]);
+    cout << best << {style.endl()};
+    return 0;
+}}"""
+
+    def _memo(self, style: Style) -> str:
+        """Longest path *ending* at u via memoized DFS over in-edges."""
+        n = style.name("n")
+        return f"""
+vector<vector<int>> into(1);
+vector<int> memo(1, 0);
+vector<int> done(1, 0);
+int best(int u) {{
+    if (done[u] == 1) return memo[u];
+    done[u] = 1;
+    int res = 0;
+    for (int e = 0; e < into[u].size(); {style.incr('e')}) {{
+        int w = into[u][e];
+        int cand = best(w) + 1;
+        if (cand > res) res = cand;
+    }}
+    memo[u] = res;
+    return res;
+}}
+int main() {{
+    {self._read_edges(style)}
+    into.resize({n});
+    memo.resize({n}, 0);
+    done.resize({n}, 0);
+    for (int e = 0; e < m; {style.incr('e')}) into[eb[e]].push_back(ea[e]);
+    int ans = 0;
+    for (int u = 0; u < {n}; {style.incr('u')}) ans = max(ans, best(u));
+    cout << ans << {style.endl()};
+    return 0;
+}}"""
+
+    def _relax(self, style: Style) -> str:
+        n = style.name("n")
+        return f"""
+int main() {{
+    {self._read_edges(style)}
+    vector<int> dp({n}, 0);
+    int changed = 1;
+    while (changed == 1) {{
+        changed = 0;
+        for (int e = 0; e < m; {style.incr('e')}) {{
+            if (dp[ea[e]] + 1 > dp[eb[e]]) {{
+                dp[eb[e]] = dp[ea[e]] + 1;
+                changed = 1;
+            }}
+        }}
+    }}
+    int ans = 0;
+    for (int u = 0; u < {n}; {style.incr('u')}) ans = max(ans, dp[u]);
+    cout << ans << {style.endl()};
+    return 0;
+}}"""

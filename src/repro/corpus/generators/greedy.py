@@ -1,0 +1,174 @@
+"""Problems C and E.
+
+* **C — "Activity selection"** (greedy class, in the spirit of 1027C):
+  choose the maximum number of pairwise non-overlapping intervals.
+  Variants: sort-by-end + greedy sweep (O(n log n)) versus repeated
+  full scans for the next compatible interval (O(n^2)).
+
+* **E — "Distinct pairs"** (constructive class, in the spirit of
+  1004C): count distinct ordered value pairs (a_i, a_j) with i < j.
+  Variants: first-occurrence prefix x distinct-suffix counting (near
+  linear with a set) versus inserting all pairs into a set (quadratic).
+  Runtimes for E are small across the board, matching Table I.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...judge.runner import TestCase
+from ..styles import Style
+from .base import GeneratedSolution, ProblemFamily
+
+__all__ = ["IntervalFamily", "DistinctPairsFamily"]
+
+
+class IntervalFamily(ProblemFamily):
+    tag = "C"
+    contest = "1027 C"
+    title = "Activity selection"
+    algorithms = ("Greedy",)
+
+    def __init__(self, scale: float = 1.0, num_tests: int = 4, seed: int = 0):
+        super().__init__(scale=scale, num_tests=num_tests, seed=seed)
+        self.base_n = 150
+
+    # ------------------------------------------------------------------
+    def build_tests(self, rng: np.random.Generator) -> list[TestCase]:
+        tests = []
+        for _ in range(self.num_tests):
+            n = self.scaled(self.base_n) + int(rng.integers(0, 25))
+            intervals = []
+            for _ in range(n):
+                start = int(rng.integers(0, 10_000))
+                length = int(rng.integers(1, 400))
+                intervals.append((start, start + length))
+            count = 0
+            time = -1
+            for start, end in sorted(intervals, key=lambda iv: iv[1]):
+                if start > time:
+                    count += 1
+                    time = end
+            lines = [str(n)] + [f"{s} {e}" for s, e in intervals]
+            tests.append(TestCase(input_text="\n".join(lines) + "\n",
+                                  expected_output=f"{count}\n"))
+        return tests
+
+    # ------------------------------------------------------------------
+    def emit_solution(self, rng: np.random.Generator,
+                      style: Style) -> GeneratedSolution:
+        variant = self.pick(rng, ("sort_greedy", "repeat_scan"),
+                            weights=(0.55, 0.45))
+        if variant == "sort_greedy":
+            body = self._sort_greedy(style)
+        else:
+            body = self._repeat_scan(style)
+        return GeneratedSolution(source=f"{style.header()}\n{body}\n",
+                                 variant=variant, knobs={})
+
+    def _sort_greedy(self, style: Style) -> str:
+        n, i, v, ans = (style.name(k) for k in ("n", "i", "v", "ans"))
+        read = style.counted_loop(
+            i, n,
+            f"int tleft, tright;\ncin >> tleft >> tright;\n"
+            f"{v}[{i}].first = tright;\n{v}[{i}].second = tleft;")
+        k = style.fresh("g")
+        sweep = style.counted_loop(
+            k, n,
+            f"if ({v}[{k}].second > last) {{\n"
+            f"{style.incr(ans)};\nlast = {v}[{k}].first;\n}}")
+        return (f"int main() {{\nint {n};\ncin >> {n};\n"
+                f"vector<pair<int, int>> {v}({n});\n{read}\n"
+                f"sort({v}.begin(), {v}.end());\n"
+                f"int {ans} = 0;\nint last = -1;\n{sweep}\n"
+                f"cout << {ans} << {style.endl()};\nreturn 0;\n}}")
+
+    def _repeat_scan(self, style: Style) -> str:
+        n, i, j, ans = (style.name(k) for k in ("n", "i", "j", "ans"))
+        read = style.counted_loop(i, n, f"cin >> st[{i}] >> en[{i}];")
+        scan = (
+            f"int pick = -1;\nint bestEnd = 2000000000;\n"
+            + style.counted_loop(
+                j, n,
+                f"if (used[{j}] == 0 && st[{j}] > last && en[{j}] < bestEnd) {{\n"
+                f"pick = {j};\nbestEnd = en[{j}];\n}}")
+            + f"\nif (pick < 0) break;\n"
+            f"used[pick] = 1;\nlast = en[pick];\n{style.incr(ans)};"
+        )
+        return (f"int main() {{\nint {n};\ncin >> {n};\n"
+                f"vector<int> st({n}, 0), en({n}, 0), used({n}, 0);\n"
+                f"{read}\nint {ans} = 0;\nint last = -1;\n"
+                f"while (true) {{\n{scan}\n}}\n"
+                f"cout << {ans} << {style.endl()};\nreturn 0;\n}}")
+
+
+class DistinctPairsFamily(ProblemFamily):
+    tag = "E"
+    contest = "1004 C"
+    title = "Distinct pairs"
+    algorithms = ("Constructive algorithm",)
+
+    def __init__(self, scale: float = 1.0, num_tests: int = 4, seed: int = 0):
+        super().__init__(scale=scale, num_tests=num_tests, seed=seed)
+        self.base_n = 70
+
+    # ------------------------------------------------------------------
+    def build_tests(self, rng: np.random.Generator) -> list[TestCase]:
+        tests = []
+        for _ in range(self.num_tests):
+            n = self.scaled(self.base_n) + int(rng.integers(0, 15))
+            values = [int(rng.integers(1, max(3, n // 2))) for _ in range(n)]
+            pairs = {(values[i], values[j])
+                     for i in range(n) for j in range(i + 1, n)}
+            lines = [str(n), " ".join(map(str, values))]
+            tests.append(TestCase(input_text="\n".join(lines) + "\n",
+                                  expected_output=f"{len(pairs)}\n"))
+        return tests
+
+    # ------------------------------------------------------------------
+    def emit_solution(self, rng: np.random.Generator,
+                      style: Style) -> GeneratedSolution:
+        variant = self.pick(rng, ("suffix_distinct", "pair_set"),
+                            weights=(0.5, 0.5))
+        if variant == "suffix_distinct":
+            body = self._suffix_distinct(style)
+        else:
+            body = self._pair_set(style)
+        return GeneratedSolution(source=f"{style.header()}\n{body}\n",
+                                 variant=variant, knobs={})
+
+    def _suffix_distinct(self, style: Style) -> str:
+        """First occurrences from the left x distinct counts to the right."""
+        n, i, v, ans = (style.name(k) for k in ("n", "i", "v", "ans"))
+        ll = style.ll_type()
+        read = style.counted_loop(i, n, f"cin >> {v}[{i}];")
+        return (f"int main() {{\nint {n};\ncin >> {n};\n"
+                f"vector<int> {v}({n}, 0);\n{read}\n"
+                f"vector<int> suf({n} + 1, 0);\n"
+                f"set<int> right;\n"
+                f"for (int p = {n} - 1; p >= 0; p = p - 1) {{\n"
+                f"right.insert({v}[p]);\n"
+                f"suf[p] = right.size();\n}}\n"
+                f"{ll} {ans} = 0;\n"
+                f"set<int> first;\n"
+                + style.counted_loop(
+                    "p", n,
+                    f"if (first.count({v}[p]) == 0) {{\n"
+                    f"first.insert({v}[p]);\n"
+                    f"{ans} += suf[p + 1];\n}}")
+                + f"\ncout << {ans} << {style.endl()};\nreturn 0;\n}}")
+
+    def _pair_set(self, style: Style) -> str:
+        n, i, j, v = (style.name(k) for k in ("n", "i", "j", "v"))
+        read = style.counted_loop(i, n, f"cin >> {v}[{i}];")
+        o = style.fresh("o")
+        loops = (
+            f"for (int {o} = 0; {style.lt(o, n)}; {style.incr(o)})\n"
+            f"for (int {j} = {o} + 1; {style.lt(j, n)}; {style.incr(j)}) {{\n"
+            f"pair<int, int> pr;\npr.first = {v}[{o}];\npr.second = {v}[{j}];\n"
+            f"seen.insert(pr);\n}}"
+        )
+        return (f"set<pair<int, int>> seen;\n"
+                f"int main() {{\nint {n};\ncin >> {n};\n"
+                f"vector<int> {v}({n}, 0);\n{read}\n{loops}\n"
+                f"cout << seen.size() << {style.endl()};\nreturn 0;\n}}")

@@ -1,0 +1,111 @@
+"""Problem A — "Registration" (Codeforces 4C), algorithm class: hashing.
+
+Given ``n`` requested user names, print ``OK`` for a first occurrence
+or ``name<k>`` where ``k`` counts previous occurrences. Accepted
+solutions range from a ``map``/``unordered_map`` (near-linear) to a
+linear rescan of all previous names (quadratic) — exactly the kind of
+spread in execution time the paper's Table I reports for this problem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...judge.runner import TestCase
+from ..styles import Style
+from .base import GeneratedSolution, ProblemFamily
+
+__all__ = ["RegistrationFamily"]
+
+_WORDS = ("anna", "bob", "carol", "dave", "emma", "frank", "gleb", "hana",
+          "ivan", "jack", "kira", "lena", "mike", "nina", "oleg", "pete")
+
+
+class RegistrationFamily(ProblemFamily):
+    tag = "A"
+    contest = "4 C"
+    title = "Registration"
+    algorithms = ("Hashing",)
+
+    def __init__(self, scale: float = 1.0, num_tests: int = 4, seed: int = 0):
+        super().__init__(scale=scale, num_tests=num_tests, seed=seed)
+        self.base_n = 160
+
+    # ------------------------------------------------------------------
+    def build_tests(self, rng: np.random.Generator) -> list[TestCase]:
+        tests = []
+        for t in range(self.num_tests):
+            n = self.scaled(self.base_n) + int(rng.integers(0, 20))
+            pool_size = max(4, n // 3)
+            pool = [f"{rng.choice(_WORDS)}{rng.integers(0, 50)}"
+                    for _ in range(pool_size)]
+            names = [str(pool[int(rng.integers(0, pool_size))]) for _ in range(n)]
+            expected = []
+            seen: dict[str, int] = {}
+            for name in names:
+                if name not in seen:
+                    seen[name] = 0
+                    expected.append("OK")
+                else:
+                    seen[name] += 1
+                    expected.append(f"{name}{seen[name]}")
+            tests.append(TestCase(
+                input_text=f"{n}\n" + "\n".join(names) + "\n",
+                expected_output="\n".join(expected) + "\n",
+            ))
+        return tests
+
+    # ------------------------------------------------------------------
+    def emit_solution(self, rng: np.random.Generator,
+                      style: Style) -> GeneratedSolution:
+        variant = self.pick(rng, ("map", "unordered_map", "vector_scan"),
+                            weights=(0.4, 0.25, 0.35))
+        double_check = bool(rng.random() < 0.3)  # redundant verification pass
+        if variant == "vector_scan":
+            body = self._vector_scan_body(style, double_check)
+        else:
+            body = self._map_body(style, variant, double_check)
+        source = f"{style.header()}\n{body}\n"
+        return GeneratedSolution(source=source, variant=variant,
+                                 knobs={"double_check": double_check})
+
+    def _map_body(self, style: Style, container: str, double_check: bool) -> str:
+        n, i, m, x = (style.name(k) for k in ("n", "i", "m", "x"))
+        extra = ""
+        if double_check:
+            # A structurally present (and charged) but harmless re-lookup.
+            extra = f"int waste = {m}.count({x});\nif (waste < 0) return;\n"
+        handle = (
+            f"string {x};\ncin >> {x};\n"
+            f"if ({m}.count({x}) == 0) {{\n"
+            f"{m}[{x}] = 0;\ncout << \"OK\" << {style.endl()};\n"
+            f"}} else {{\n"
+            f"{m}[{x}] = {m}[{x}] + 1;\n{extra}"
+            f"cout << {x} << {m}[{x}] << {style.endl()};\n}}"
+        )
+        loop = style.counted_loop(i, n, handle)
+        return (f"{container}<string, int> {m};\n"
+                f"void solve() {{\nint {n};\ncin >> {n};\n{loop}\n}}\n"
+                f"int main() {{\nsolve();\nreturn 0;\n}}")
+
+    def _vector_scan_body(self, style: Style, double_check: bool) -> str:
+        n, i, j, v, x, ans = (style.name(k)
+                              for k in ("n", "i", "j", "v", "x", "ans"))
+        extra = ""
+        if double_check:
+            extra = (f"int verify = 0;\n"
+                     + style.counted_loop(
+                         style.fresh("w"), f"(int){v}.size()",
+                         "verify += 1;") + "\n")
+        inner = style.counted_loop(
+            j, f"(int){v}.size()",
+            f"if ({v}[{j}] == {x}) {style.maybe_block(f'{style.incr(ans)};')}")
+        body = (
+            f"string {x};\ncin >> {x};\nint {ans} = 0;\n{inner}\n{extra}"
+            f"if ({ans} == 0) cout << \"OK\" << {style.endl()};\n"
+            f"else cout << {x} << {ans} << {style.endl()};\n"
+            f"{v}.push_back({x});"
+        )
+        loop = style.counted_loop(i, n, body)
+        return (f"int main() {{\nint {n};\ncin >> {n};\n"
+                f"vector<string> {v};\n{loop}\nreturn 0;\n}}")

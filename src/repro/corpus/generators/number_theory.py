@@ -1,0 +1,286 @@
+"""Problems B and D — number theory families.
+
+* **B — "T-primes"** (Codeforces 230B; binary search & number theory):
+  a number is a T-prime iff it is the square of a prime. Accepted
+  solutions range from a sieve + set membership (fast) to per-query
+  trial division of the square root (medium) to counting all divisors
+  up to sqrt(x) per query (slow).
+
+* **D — "Range GCD"** (in the spirit of 914D, data structure + number
+  theory): answer q range-gcd queries. Variants: sparse table (O(1)
+  queries), recursive segment tree (O(log n)), and a naive per-query
+  scan (O(n) per query).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...judge.runner import TestCase
+from ..styles import Style
+from .base import GeneratedSolution, ProblemFamily
+
+__all__ = ["TPrimeFamily", "RangeGcdFamily"]
+
+_SMALL_PRIMES = [p for p in range(2, 1000)
+                 if all(p % d for d in range(2, int(math.isqrt(p)) + 1))]
+
+
+class TPrimeFamily(ProblemFamily):
+    tag = "B"
+    contest = "230 B"
+    title = "T-primes"
+    algorithms = ("Binary search", "Number theory")
+
+    def __init__(self, scale: float = 1.0, num_tests: int = 4, seed: int = 0):
+        super().__init__(scale=scale, num_tests=num_tests, seed=seed)
+        self.base_q = 60
+        self.max_value = 999_983  # < 1e6 so sqrt fits comfortably
+
+    # ------------------------------------------------------------------
+    def build_tests(self, rng: np.random.Generator) -> list[TestCase]:
+        tests = []
+        prime_squares = [p * p for p in _SMALL_PRIMES if p * p <= self.max_value]
+        for _ in range(self.num_tests):
+            q = self.scaled(self.base_q) + int(rng.integers(0, 10))
+            values = []
+            for _ in range(q):
+                if rng.random() < 0.35:
+                    values.append(int(rng.choice(prime_squares)))
+                elif rng.random() < 0.5:
+                    root = int(rng.integers(2, 999))
+                    values.append(root * root)  # square of possibly-composite
+                else:
+                    values.append(int(rng.integers(1, self.max_value)))
+            expected = []
+            for x in values:
+                root = math.isqrt(x)
+                is_tprime = root * root == x and root >= 2 and \
+                    all(root % d for d in range(2, math.isqrt(root) + 1))
+                expected.append("YES" if is_tprime else "NO")
+            tests.append(TestCase(
+                input_text=f"{q}\n" + " ".join(map(str, values)) + "\n",
+                expected_output="\n".join(expected) + "\n",
+            ))
+        return tests
+
+    # ------------------------------------------------------------------
+    def emit_solution(self, rng: np.random.Generator,
+                      style: Style) -> GeneratedSolution:
+        variant = self.pick(rng, ("sieve_set", "trial_sqrt", "divisor_count"),
+                            weights=(0.35, 0.35, 0.3))
+        n, i, j, x, ans, m = (style.name(k)
+                              for k in ("n", "i", "j", "x", "ans", "m"))
+        ll = style.ll_type()
+        root = style.fresh("r")
+        if variant == "sieve_set":
+            limit = 1000
+            sieve = (
+                f"for (int {i} = 2; {i} <= {limit}; {style.incr(i)}) {{\n"
+                f"if (comp[{i}] == 0)\n"
+                f"for (int {j} = {i} + {i}; {j} <= {limit}; {j} += {i})"
+                f" comp[{j}] = 1;\n}}"
+            )
+            check = (
+                f"{ll} {root} = ({ll})(sqrt((double)({x})));\n"
+                f"while ({root} * {root} < {x}) {root} = {root} + 1;\n"
+                f"while ({root} * {root} > {x}) {root} = {root} - 1;\n"
+                f"if ({root} * {root} == {x} && {root} >= 2 && comp[{root}] == 0)"
+                f" cout << \"YES\" << {style.endl()};\n"
+                f"else cout << \"NO\" << {style.endl()};"
+            )
+            body = (
+                f"int comp[{limit + 1}];\n"
+                f"int main() {{\n"
+                f"comp[0] = 1;\ncomp[1] = 1;\n{sieve}\n"
+                f"int {n};\ncin >> {n};\n"
+                + style.counted_loop(
+                    style.fresh("t"), n,
+                    f"{ll} {x};\ncin >> {x};\n{check}")
+                + "\nreturn 0;\n}"
+            )
+        elif variant == "trial_sqrt":
+            check = (
+                f"{ll} {root} = ({ll})(sqrt((double)({x})));\n"
+                f"while ({root} * {root} < {x}) {root} = {root} + 1;\n"
+                f"while ({root} * {root} > {x}) {root} = {root} - 1;\n"
+                f"int ok = 0;\n"
+                f"if ({root} * {root} == {x} && {root} >= 2) {{\n"
+                f"ok = 1;\n"
+                f"for ({ll} d = 2; d * d <= {root}; {style.incr('d')})\n"
+                f"  if ({root} % d == 0) ok = 0;\n"
+                f"}}\n"
+                f"if (ok == 1) cout << \"YES\" << {style.endl()};\n"
+                f"else cout << \"NO\" << {style.endl()};"
+            )
+            body = (
+                f"int main() {{\nint {n};\ncin >> {n};\n"
+                + style.counted_loop(i, n, f"{ll} {x};\ncin >> {x};\n{check}")
+                + "\nreturn 0;\n}"
+            )
+        else:  # divisor_count: x is a T-prime iff it has exactly 3 divisors
+            check = (
+                f"int divs = 0;\n"
+                f"for ({ll} d = 1; d * d <= {x}; {style.incr('d')}) {{\n"
+                f"if ({x} % d == 0) {{\n"
+                f"divs = divs + 1;\n"
+                f"if (d * d != {x}) divs = divs + 1;\n"
+                f"}}\n}}\n"
+                f"if (divs == 3) cout << \"YES\" << {style.endl()};\n"
+                f"else cout << \"NO\" << {style.endl()};"
+            )
+            body = (
+                f"int main() {{\nint {n};\ncin >> {n};\n"
+                + style.counted_loop(i, n, f"{ll} {x};\ncin >> {x};\n{check}")
+                + "\nreturn 0;\n}"
+            )
+        source = f"{style.header()}\n{body}\n"
+        return GeneratedSolution(source=source, variant=variant, knobs={})
+
+
+class RangeGcdFamily(ProblemFamily):
+    tag = "D"
+    contest = "914 D"
+    title = "Range GCD queries"
+    algorithms = ("Data structure", "Number theory")
+
+    def __init__(self, scale: float = 1.0, num_tests: int = 4, seed: int = 0):
+        super().__init__(scale=scale, num_tests=num_tests, seed=seed)
+        self.base_n = 300
+        self.base_q = 110
+
+    # ------------------------------------------------------------------
+    def build_tests(self, rng: np.random.Generator) -> list[TestCase]:
+        tests = []
+        for _ in range(self.num_tests):
+            n = self.scaled(self.base_n) + int(rng.integers(0, 30))
+            q = self.scaled(self.base_q) + int(rng.integers(0, 10))
+            base = int(rng.choice([2, 3, 5, 7]))
+            values = [base * int(rng.integers(1, 1000)) for _ in range(n)]
+            queries = []
+            for _ in range(q):
+                lo = int(rng.integers(0, n))
+                hi = int(rng.integers(lo, n))
+                queries.append((lo, hi))
+            expected = []
+            for lo, hi in queries:
+                acc = 0
+                for v in values[lo:hi + 1]:
+                    acc = math.gcd(acc, v)
+                expected.append(str(acc))
+            lines = [str(n), " ".join(map(str, values)), str(q)]
+            lines += [f"{lo} {hi}" for lo, hi in queries]
+            tests.append(TestCase(
+                input_text="\n".join(lines) + "\n",
+                expected_output="\n".join(expected) + "\n",
+            ))
+        return tests
+
+    # ------------------------------------------------------------------
+    def emit_solution(self, rng: np.random.Generator,
+                      style: Style) -> GeneratedSolution:
+        variant = self.pick(rng, ("segment_tree", "naive_scan", "prefix_blocks"),
+                            weights=(0.35, 0.35, 0.3))
+        if variant == "segment_tree":
+            body = self._segment_tree(style)
+        elif variant == "prefix_blocks":
+            body = self._block_decomposition(style)
+        else:
+            body = self._naive(style)
+        source = f"{style.header()}\n{body}\n"
+        return GeneratedSolution(source=source, variant=variant, knobs={})
+
+    def _read_prefix(self, style: Style) -> str:
+        n, i, v = style.name("n"), style.name("i"), style.name("v")
+        read = style.counted_loop(i, n, f"cin >> {v}[{i}];")
+        return (f"int {n};\ncin >> {n};\nvector<int> {v}({n}, 0);\n{read}\n"
+                f"int q;\ncin >> q;\n")
+
+    def _naive(self, style: Style) -> str:
+        v, ans = style.name("v"), style.name("ans")
+        j = style.name("j")
+        query = (f"int lo, hi;\ncin >> lo >> hi;\nint {ans} = 0;\n"
+                 + style.counted_loop(
+                     j, "hi + 1", f"{ans} = __gcd({ans}, {v}[{j}]);", start="lo")
+                 + f"\ncout << {ans} << {style.endl()};")
+        return ("int main() {\n" + self._read_prefix(style)
+                + style.counted_loop(style.fresh("qq"), "q", query)
+                + "\nreturn 0;\n}")
+
+    def _segment_tree(self, style: Style) -> str:
+        v = style.name("v")
+        return f"""
+int segn;
+vector<int> tree(1, 0);
+vector<int> {v}(1, 0);
+void build(int node, int lo, int hi) {{
+    if (lo == hi) {{
+        tree[node] = {v}[lo];
+        return;
+    }}
+    int mid = (lo + hi) / 2;
+    build(2 * node, lo, mid);
+    build(2 * node + 1, mid + 1, hi);
+    tree[node] = __gcd(tree[2 * node], tree[2 * node + 1]);
+}}
+int query(int node, int lo, int hi, int l, int r) {{
+    if (r < lo || hi < l) return 0;
+    if (l <= lo && hi <= r) return tree[node];
+    int mid = (lo + hi) / 2;
+    return __gcd(query(2 * node, lo, mid, l, r),
+                 query(2 * node + 1, mid + 1, hi, l, r));
+}}
+int main() {{
+    int n;
+    cin >> n;
+    segn = n;
+    {v}.resize(n, 0);
+    tree.resize(4 * n, 0);
+    for (int i = 0; i < n; {style.incr('i')}) cin >> {v}[i];
+    build(1, 0, n - 1);
+    int q;
+    cin >> q;
+    for (int t = 0; t < q; {style.incr('t')}) {{
+        int lo, hi;
+        cin >> lo >> hi;
+        cout << query(1, 0, n - 1, lo, hi) << {style.endl()};
+    }}
+    return 0;
+}}"""
+
+    def _block_decomposition(self, style: Style) -> str:
+        v = style.name("v")
+        return f"""
+int main() {{
+    int n;
+    cin >> n;
+    vector<int> {v}(n, 0);
+    for (int i = 0; i < n; {style.incr('i')}) cin >> {v}[i];
+    int block = 1;
+    while (block * block < n) block = block + 1;
+    int nb = (n + block - 1) / block;
+    vector<int> bg(nb, 0);
+    for (int i = 0; i < n; {style.incr('i')})
+        bg[i / block] = __gcd(bg[i / block], {v}[i]);
+    int q;
+    cin >> q;
+    for (int t = 0; t < q; {style.incr('t')}) {{
+        int lo, hi;
+        cin >> lo >> hi;
+        int ans = 0;
+        int pos = lo;
+        while (pos <= hi) {{
+            if (pos % block == 0 && pos + block - 1 <= hi) {{
+                ans = __gcd(ans, bg[pos / block]);
+                pos = pos + block;
+            }} else {{
+                ans = __gcd(ans, {v}[pos]);
+                pos = pos + 1;
+            }}
+        }}
+        cout << ans << {style.endl()};
+    }}
+    return 0;
+}}"""

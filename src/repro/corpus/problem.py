@@ -1,0 +1,44 @@
+"""Problem and submission data model for the simulated platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..judge.runner import TestCase
+
+__all__ = ["ProblemSpec", "Submission"]
+
+
+@dataclass
+class ProblemSpec:
+    """A contest problem: identity, tests, and judging parameters.
+
+    ``tag`` matches Table I of the paper (A-I) for the nine curated
+    problems; the MP pool uses tags ``X000``-``X099``.
+    """
+
+    tag: str
+    contest: str
+    title: str
+    algorithms: tuple[str, ...]
+    tests: list[TestCase]
+    time_limit_ms: float = 60_000.0
+
+    def __post_init__(self):
+        if not self.tag:
+            raise ValueError("problem tag must be non-empty")
+
+
+@dataclass
+class Submission:
+    """One accepted solution with its judged performance."""
+
+    problem_tag: str
+    submission_id: int
+    source: str
+    mean_runtime_ms: float
+    max_runtime_ms: int
+    memory_kb: int
+    language: str = "GNU C++17"
+    variant: str = ""          # generator-internal algorithm label (debugging)
+    extra: dict = field(default_factory=dict)

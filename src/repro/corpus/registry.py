@@ -1,0 +1,67 @@
+"""Registry of the nine Table-I problems and the MP pool.
+
+Table I of the paper (counts, runtime ranges, algorithm classes) is the
+contract this registry implements: tag -> family, with per-tag scale
+factors chosen so the *relative* runtime magnitudes across tags track
+the paper's table (H tiny, A/B large, etc.) at interpreter-friendly
+sizes.
+"""
+
+from __future__ import annotations
+
+from .generators import (
+    BfsDepthFamily, CoinWaysFamily, DagLongestPathFamily,
+    DistinctPairsFamily, IntervalFamily, ProblemFamily, RangeGcdFamily,
+    RegistrationFamily, SubtreeSizeFamily, TPrimeFamily, mp_pool,
+)
+
+__all__ = ["TABLE1_TAGS", "TABLE1_COUNTS", "family_for_tag", "table1_families",
+           "mp_families"]
+
+#: Submission counts from the paper's Table I (for reporting/scaling).
+TABLE1_COUNTS = {
+    "A": 6616, "B": 6099, "C": 832, "D": 612, "E": 505,
+    "F": 599, "G": 207, "H": 5192, "I": 475,
+}
+
+TABLE1_TAGS = tuple(TABLE1_COUNTS)
+
+_FAMILY_CLASSES = {
+    "A": RegistrationFamily,
+    "B": TPrimeFamily,
+    "C": IntervalFamily,
+    "D": RangeGcdFamily,
+    "E": DistinctPairsFamily,
+    "F": SubtreeSizeFamily,
+    "G": BfsDepthFamily,
+    "H": CoinWaysFamily,
+    "I": DagLongestPathFamily,
+}
+
+#: Per-tag workload scales: tags with large Table-I medians get larger
+#: workloads so the simulated runtime magnitudes are ordered like the
+#: paper's (A/B/D large, E/G medium-small, H tiny).
+_TAG_SCALES = {
+    "A": 2.2, "B": 1.6, "C": 1.4, "D": 1.6, "E": 0.55,
+    "F": 1.1, "G": 0.8, "H": 0.35, "I": 1.2,
+}
+
+
+def family_for_tag(tag: str, scale: float = 1.0, num_tests: int = 4,
+                   seed: int | None = None) -> ProblemFamily:
+    """Instantiate the family for a Table-I tag (A-I)."""
+    if tag not in _FAMILY_CLASSES:
+        raise KeyError(f"unknown problem tag {tag!r}; expected one of "
+                       f"{sorted(_FAMILY_CLASSES)}")
+    cls = _FAMILY_CLASSES[tag]
+    return cls(scale=scale * _TAG_SCALES[tag], num_tests=num_tests,
+               seed=seed if seed is not None else ord(tag))
+
+
+def table1_families(scale: float = 1.0, num_tests: int = 4) -> dict[str, ProblemFamily]:
+    return {tag: family_for_tag(tag, scale=scale, num_tests=num_tests)
+            for tag in TABLE1_TAGS}
+
+
+def mp_families(count: int = 100, scale: float = 1.0) -> list[ProblemFamily]:
+    return mp_pool(count=count, scale=scale)

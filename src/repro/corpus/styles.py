@@ -1,0 +1,109 @@
+"""Surface-style variation for generated solutions.
+
+Real Codeforces submissions differ wildly in coding style even when the
+algorithm is identical. The paper argues ASTs "dispense variations in
+coding styles" — for that claim to be testable, the corpus must contain
+such variation. :class:`Style` makes randomized but consistent choices
+(identifier names, loop forms, increment style, typedef usage, helper
+extraction) that generators weave into their templates. Several of these
+choices do alter the AST (e.g. ``i++`` vs ``++i`` vs ``i += 1``, block
+vs single statement), mirroring how real style differences show up in
+ROSE output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Style"]
+
+# Pools deliberately exclude identifiers that solution templates hard-code
+# (sz, q, t, best, val, seen, ...) so a style choice never shadows them.
+_NAME_POOLS = {
+    "n": ("n", "N", "num", "nn", "len"),
+    "i": ("i", "ii", "it", "idx", "pos"),
+    "j": ("j", "jj", "kk", "p2", "iz"),
+    "ans": ("ans", "res", "result", "outv", "ret"),
+    "sum": ("s", "summ", "tot", "accu", "curr"),
+    "v": ("v", "a", "arr", "data", "vals"),
+    "x": ("x", "xv", "tmp", "y", "z"),
+    "m": ("m", "mp", "lookup", "table", "hist"),
+}
+
+
+class Style:
+    """One submission's consistent set of stylistic choices."""
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+        self._names: dict[str, str] = {}
+        taken: set[str] = set()
+        for canonical, pool in _NAME_POOLS.items():
+            choices = [p for p in pool if p not in taken]
+            picked = str(rng.choice(choices)) if choices else canonical
+            taken.add(picked)
+            self._names[canonical] = picked
+        self.use_typedef = bool(rng.random() < 0.4)
+        self.prefix_incr = bool(rng.random() < 0.35)
+        self.plus_equals_incr = bool(rng.random() < 0.15)
+        self.while_loops = bool(rng.random() < 0.25)
+        self.braces_always = bool(rng.random() < 0.5)
+        self.reversed_compare = bool(rng.random() < 0.2)
+        self.use_endl = bool(rng.random() < 0.6)
+
+    # ------------------------------------------------------------------
+    def name(self, canonical: str) -> str:
+        """Consistent rendered name for a canonical variable role."""
+        if canonical not in self._names:
+            self._names[canonical] = canonical
+        return self._names[canonical]
+
+    def fresh(self, base: str) -> str:
+        """A new unique identifier derived from ``base``."""
+        suffix = int(self._rng.integers(0, 1000))
+        candidate = f"{base}{suffix}"
+        while candidate in self._names.values():
+            suffix += 1
+            candidate = f"{base}{suffix}"
+        self._names[f"__fresh_{candidate}"] = candidate
+        return candidate
+
+    # ------------------------------------------------------------------
+    def ll_type(self) -> str:
+        """Spelling for 64-bit ints (with or without typedef)."""
+        return "ll" if self.use_typedef else "long long"
+
+    def header(self) -> str:
+        lines = ["#include <bits/stdc++.h>", "using namespace std;"]
+        if self.use_typedef:
+            lines.append("typedef long long ll;")
+        return "\n".join(lines)
+
+    def incr(self, var: str) -> str:
+        if self.plus_equals_incr:
+            return f"{var} += 1"
+        return f"++{var}" if self.prefix_incr else f"{var}++"
+
+    def lt(self, var: str, bound: str) -> str:
+        """Loop condition, possibly written with the operands flipped."""
+        return f"{bound} > {var}" if self.reversed_compare else f"{var} < {bound}"
+
+    def endl(self) -> str:
+        return "endl" if self.use_endl else r'"\n"'
+
+    def counted_loop(self, var: str, bound: str, body: str,
+                     start: str = "0") -> str:
+        """A 0..bound loop rendered as ``for`` or equivalent ``while``."""
+        body = body.strip()
+        if self.while_loops:
+            return (f"int {var} = {start};\n"
+                    f"while ({self.lt(var, bound)}) {{\n{body}\n"
+                    f"{self.incr(var)};\n}}")
+        if self.braces_always or "\n" in body:
+            return (f"for (int {var} = {start}; {self.lt(var, bound)}; "
+                    f"{self.incr(var)}) {{\n{body}\n}}")
+        return (f"for (int {var} = {start}; {self.lt(var, bound)}; "
+                f"{self.incr(var)}) {body}")
+
+    def maybe_block(self, stmt: str) -> str:
+        return f"{{ {stmt} }}" if self.braces_always else stmt

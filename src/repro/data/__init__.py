@@ -1,0 +1,12 @@
+"""Pair generation, labeling, sampling, and splits (paper Section II-B)."""
+
+from .batching import iter_batches
+from .pairs import CodePair, add_reversed, all_pairs, label_for, sample_pairs
+from .sampling import pairs_by_fraction, submission_sweep, subset_submissions
+from .splits import split_submissions
+
+__all__ = [
+    "CodePair", "label_for", "all_pairs", "sample_pairs", "add_reversed",
+    "subset_submissions", "pairs_by_fraction", "submission_sweep",
+    "split_submissions", "iter_batches",
+]

@@ -1,0 +1,26 @@
+"""Mini-batch iteration over code pairs."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .pairs import CodePair
+
+__all__ = ["iter_batches"]
+
+
+def iter_batches(pairs: list[CodePair], batch_size: int,
+                 rng: np.random.Generator | None = None,
+                 shuffle: bool = True) -> Iterator[list[CodePair]]:
+    """Yield batches; shuffles a copy when requested."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(len(pairs))
+    if shuffle:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        rng.shuffle(order)
+    for start in range(0, len(pairs), batch_size):
+        yield [pairs[int(k)] for k in order[start:start + batch_size]]

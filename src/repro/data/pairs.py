@@ -1,0 +1,116 @@
+"""Code-pair generation and labeling (paper Section II-B, eq. 1).
+
+For a pair of submissions (p_i, p_j) the target is::
+
+    y = 0   if t_i <  t_j   (the first program is faster)
+    y = 1   if t_i >= t_j   (the second is faster or equivalent)
+
+"if the first element of the pair has a higher execution time, we label
+it as positive". For N submissions there are N^2 ordered pairs (the
+paper's framing); training uses random subsets of them, optionally with
+both orderings of each unordered pair (the "symmetric pairs" ablation
+of Section VI-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..corpus.problem import Submission
+
+__all__ = ["CodePair", "label_for", "all_pairs", "sample_pairs",
+           "add_reversed"]
+
+
+@dataclass(frozen=True)
+class CodePair:
+    """An ordered pair of submissions with its comparative label."""
+
+    first: Submission
+    second: Submission
+    label: int
+    gap_ms: float      # |t_first - t_second|, used by the sensitivity study
+
+    def reversed(self) -> "CodePair":
+        return CodePair(first=self.second, second=self.first,
+                        label=1 - self.label, gap_ms=self.gap_ms)
+
+
+def label_for(first: Submission, second: Submission) -> int:
+    """Equation (1): 1 iff the first submission is slower-or-equal."""
+    return 1 if first.mean_runtime_ms >= second.mean_runtime_ms else 0
+
+
+def _make_pair(first: Submission, second: Submission) -> CodePair:
+    return CodePair(
+        first=first, second=second, label=label_for(first, second),
+        gap_ms=abs(first.mean_runtime_ms - second.mean_runtime_ms),
+    )
+
+
+def all_pairs(submissions: list[Submission],
+              include_self: bool = False) -> list[CodePair]:
+    """Every ordered pair (i, j); ``include_self`` adds the N diagonal
+    pairs (labelled 1 per eq. 1 since t_i >= t_i)."""
+    pairs = []
+    for i, first in enumerate(submissions):
+        for j, second in enumerate(submissions):
+            if i == j and not include_self:
+                continue
+            pairs.append(_make_pair(first, second))
+    return pairs
+
+
+def sample_pairs(submissions: list[Submission], count: int,
+                 rng: np.random.Generator,
+                 two_way: bool = False) -> list[CodePair]:
+    """``count`` ordered pairs sampled uniformly without replacement.
+
+    With ``two_way`` the sample is built from count/2 unordered pairs,
+    each contributing both orderings — same total size, symmetric
+    content (the paper finds this helps by up to ~2%).
+    """
+    n = len(submissions)
+    if n < 2:
+        raise ValueError("need at least two submissions to form pairs")
+    total_ordered = n * (n - 1)
+    count = min(count, total_ordered)
+    if two_way:
+        half = max(1, count // 2)
+        unordered_total = n * (n - 1) // 2
+        half = min(half, unordered_total)
+        chosen = rng.choice(unordered_total, size=half, replace=False)
+        pairs = []
+        for flat in chosen:
+            i, j = _unflatten_unordered(int(flat), n)
+            pair = _make_pair(submissions[i], submissions[j])
+            pairs.append(pair)
+            pairs.append(pair.reversed())
+        return pairs
+    chosen = rng.choice(total_ordered, size=count, replace=False)
+    pairs = []
+    for flat in chosen:
+        i, j = divmod(int(flat), n - 1)
+        if j >= i:
+            j += 1
+        pairs.append(_make_pair(submissions[i], submissions[j]))
+    return pairs
+
+
+def _unflatten_unordered(flat: int, n: int) -> tuple[int, int]:
+    """Map a flat index into the i<j upper-triangle pair (i, j)."""
+    i = 0
+    remaining = flat
+    row = n - 1
+    while remaining >= row:
+        remaining -= row
+        i += 1
+        row -= 1
+    return i, i + 1 + remaining
+
+
+def add_reversed(pairs: list[CodePair]) -> list[CodePair]:
+    """Append the reverse of every pair (doubles the dataset)."""
+    return pairs + [p.reversed() for p in pairs]

@@ -1,0 +1,48 @@
+"""Training-set sampling strategies (paper Section VI-D).
+
+The paper studies two axes: the number of submissions in the training
+set (32..4096, Fig. 5a) and the fraction of all possible pairs formed
+from them (Fig. 5b). These helpers implement both sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..corpus.problem import Submission
+from .pairs import CodePair, sample_pairs
+
+__all__ = ["subset_submissions", "pairs_by_fraction", "submission_sweep"]
+
+
+def subset_submissions(submissions: list[Submission], count: int,
+                       rng: np.random.Generator) -> list[Submission]:
+    """A uniform random subset of ``count`` submissions."""
+    if count < 1:
+        raise ValueError("count must be positive")
+    count = min(count, len(submissions))
+    picked = rng.choice(len(submissions), size=count, replace=False)
+    return [submissions[int(k)] for k in picked]
+
+
+def pairs_by_fraction(submissions: list[Submission], fraction: float,
+                      rng: np.random.Generator,
+                      two_way: bool = False) -> list[CodePair]:
+    """Sample ``fraction`` of the N(N-1) ordered pairs (Fig. 5b sweep)."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    n = len(submissions)
+    target = max(1, int(round(fraction * n * (n - 1))))
+    return sample_pairs(submissions, target, rng, two_way=two_way)
+
+
+def submission_sweep(start: int = 32, stop: int = 4096) -> list[int]:
+    """The paper's powers-of-two sweep: 32, 64, ..., stop."""
+    if start < 2 or stop < start:
+        raise ValueError("invalid sweep bounds")
+    sizes = []
+    size = start
+    while size <= stop:
+        sizes.append(size)
+        size *= 2
+    return sizes

@@ -1,0 +1,30 @@
+"""Disjoint train/test submission splits.
+
+The paper's accuracy metric requires "the train and the test datasets
+are disjoint" at the *submission* level — pairs are formed within each
+side, never across, so no test program was seen during training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..corpus.problem import Submission
+
+__all__ = ["split_submissions"]
+
+
+def split_submissions(submissions: list[Submission], train_fraction: float,
+                      rng: np.random.Generator,
+                      ) -> tuple[list[Submission], list[Submission]]:
+    """Shuffle and split; both sides are guaranteed non-empty."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    if len(submissions) < 4:
+        raise ValueError("need at least 4 submissions for a meaningful split")
+    order = rng.permutation(len(submissions))
+    cut = int(round(len(submissions) * train_fraction))
+    cut = min(max(cut, 2), len(submissions) - 2)
+    train = [submissions[int(k)] for k in order[:cut]]
+    test = [submissions[int(k)] for k in order[cut:]]
+    return train, test

@@ -1,0 +1,25 @@
+"""Experiment drivers: one function per table/figure of the paper."""
+
+from .corpus_cache import default_cache_dir, load_mp_corpus, load_table1_corpus
+from .drivers import (
+    Fig3Result, Fig4Result, Fig5Result, Fig6Result, Fig7Result, HpoResult,
+    Table1Result, Table2Result, Table3Result, TrainedProblemModel,
+    run_fig3, run_fig4, run_fig5, run_fig6, run_fig7, run_hpo, run_table1,
+    run_table2, run_table3, train_problem_model,
+)
+from .profiles import BENCH, PAPER, QUICK, ScaleProfile
+
+__all__ = [
+    "ScaleProfile", "BENCH", "QUICK", "PAPER",
+    "default_cache_dir", "load_table1_corpus", "load_mp_corpus",
+    "train_problem_model", "TrainedProblemModel",
+    "Table1Result", "run_table1",
+    "Fig3Result", "run_fig3",
+    "Table2Result", "run_table2",
+    "Table3Result", "run_table3",
+    "Fig4Result", "run_fig4",
+    "Fig5Result", "run_fig5",
+    "Fig6Result", "run_fig6",
+    "Fig7Result", "run_fig7",
+    "HpoResult", "run_hpo",
+]

@@ -1,0 +1,59 @@
+"""Build-once corpora for the benchmark harness.
+
+Judging hundreds of submissions through the interpreter takes minutes,
+so benchmark corpora are built once per (profile, seed) and persisted
+as JSONL next to the repository. Delete the cache directory to force a
+rebuild.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..corpus import Collector, SubmissionDatabase, mp_families, table1_families
+from ..judge import MachineProfile
+from .profiles import ScaleProfile
+
+__all__ = ["default_cache_dir", "load_table1_corpus", "load_mp_corpus"]
+
+
+def default_cache_dir() -> Path:
+    return Path(__file__).resolve().parents[3] / ".corpus_cache"
+
+
+def _collector(seed: int) -> Collector:
+    return Collector(machine=MachineProfile(cycles_per_ms=2000.0, seed=seed),
+                     seed=seed)
+
+
+def load_table1_corpus(profile: ScaleProfile, seed: int = 1278,
+                       cache_dir: Path | None = None) -> SubmissionDatabase:
+    """The nine Table-I problems, ``submissions_per_problem`` each."""
+    cache_dir = cache_dir or default_cache_dir()
+    path = cache_dir / (f"table1_{profile.name}_s{seed}"
+                        f"_n{profile.submissions_per_problem}.jsonl")
+    if path.exists():
+        return SubmissionDatabase.load(path)
+    families = table1_families(scale=profile.corpus_scale,
+                               num_tests=profile.num_tests)
+    db = _collector(seed).collect(list(families.values()),
+                                  per_problem=profile.submissions_per_problem)
+    db.save(path)
+    return db
+
+
+def load_mp_corpus(profile: ScaleProfile, seed: int = 4321,
+                   cache_dir: Path | None = None) -> SubmissionDatabase:
+    """The MP pool: many problems, a few submissions each."""
+    cache_dir = cache_dir or default_cache_dir()
+    path = cache_dir / (f"mp_{profile.name}_s{seed}"
+                        f"_p{profile.mp_problem_count}"
+                        f"_n{profile.mp_submissions_per_problem}.jsonl")
+    if path.exists():
+        return SubmissionDatabase.load(path)
+    families = mp_families(count=profile.mp_problem_count,
+                           scale=profile.corpus_scale)
+    db = _collector(seed).collect(
+        families, per_problem=profile.mp_submissions_per_problem)
+    db.save(path)
+    return db

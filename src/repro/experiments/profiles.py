@@ -1,0 +1,67 @@
+"""Scale profiles for the experiment drivers.
+
+The paper trains on a P100 GPU with thousands of submissions; the
+pure-numpy stack reproduces every experiment at configurable scale.
+``BENCH`` is sized so the full harness finishes in minutes on a laptop
+CPU; ``PAPER`` records the publication-scale settings (Section V-C) for
+anyone with patience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["ScaleProfile", "BENCH", "QUICK", "PAPER"]
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    name: str
+    corpus_scale: float          # workload multiplier for problem families
+    submissions_per_problem: int
+    mp_problem_count: int
+    mp_submissions_per_problem: int
+    embedding_dim: int
+    hidden_size: int
+    epochs: int
+    train_pairs: int
+    eval_pairs: int
+    batch_size: int = 16
+    learning_rate: float = 8e-3
+    num_tests: int = 3
+
+    def __post_init__(self):
+        if self.corpus_scale <= 0:
+            raise ValueError("corpus_scale must be positive")
+        if min(self.submissions_per_problem, self.mp_problem_count,
+               self.embedding_dim, self.hidden_size, self.epochs,
+               self.train_pairs, self.eval_pairs) < 1:
+            raise ValueError("profile sizes must all be >= 1")
+
+    def smaller(self, **overrides) -> "ScaleProfile":
+        return replace(self, **overrides)
+
+
+#: Used by the pytest-benchmark harness.
+BENCH = ScaleProfile(
+    name="bench", corpus_scale=0.4, submissions_per_problem=36,
+    mp_problem_count=24, mp_submissions_per_problem=4,
+    embedding_dim=16, hidden_size=16, epochs=6,
+    train_pairs=80, eval_pairs=60,
+)
+
+#: Used by tests and examples that just need the moving parts to move.
+QUICK = ScaleProfile(
+    name="quick", corpus_scale=0.3, submissions_per_problem=14,
+    mp_problem_count=6, mp_submissions_per_problem=3,
+    embedding_dim=12, hidden_size=12, epochs=4,
+    train_pairs=40, eval_pairs=30,
+)
+
+#: The paper's configuration (Section V-C), for reference/long runs.
+PAPER = ScaleProfile(
+    name="paper", corpus_scale=4.0, submissions_per_problem=4096,
+    mp_problem_count=100, mp_submissions_per_problem=100,
+    embedding_dim=120, hidden_size=100, epochs=60,
+    train_pairs=3_000_000, eval_pairs=50_000,
+)

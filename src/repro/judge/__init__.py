@@ -1,0 +1,22 @@
+"""Execution substrate: interpreter + cost model + judge.
+
+The paper's labels come from the Codeforces judge measuring real
+submissions. Offline we reproduce that pipeline end-to-end: parse the
+submission, interpret it on generated test cases, accumulate a cycle
+cost per :class:`~repro.judge.cost.CostModel`, and convert cycles to a
+noisy quantized millisecond measurement via
+:class:`~repro.judge.machine.MachineProfile`.
+"""
+
+from .cost import CostModel
+from .errors import InputExhausted, JudgeError, RuntimeFault, TimeLimitExceeded
+from .interp import ExecutionResult, Interpreter
+from .machine import MachineProfile
+from .runner import Judge, JudgeReport, TestCase, Verdict
+
+__all__ = [
+    "CostModel", "MachineProfile",
+    "Interpreter", "ExecutionResult",
+    "Judge", "JudgeReport", "TestCase", "Verdict",
+    "JudgeError", "RuntimeFault", "TimeLimitExceeded", "InputExhausted",
+]

@@ -1,0 +1,56 @@
+"""Abstract cost model: every interpreted operation charges cycles.
+
+The judge's "runtime" is the accumulated cycle count mapped through a
+:class:`~repro.judge.machine.MachineProfile`. Costs are deliberately
+coarse (unit-scale for scalar ops, size-dependent for container and
+library operations) — what matters for the reproduction is that
+*algorithmically different* solutions to the same problem accumulate
+costs with the right asymptotic ordering, which is what separates fast
+from slow submissions on the real platform.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle charges per operation category."""
+
+    int_arith: int = 1
+    int_divmod: int = 4
+    float_arith: int = 2
+    compare: int = 1
+    logical: int = 1
+    assign: int = 1
+    copy_per_element: int = 1
+    index: int = 1
+    member: int = 1
+    call_overhead: int = 8
+    method_overhead: int = 2
+    push_amortized: int = 3
+    pop: int = 1
+    tree_op_base: int = 6       # map/set: base × log2(n + 2)
+    hash_op: int = 10           # unordered containers: flat cost
+    io_token: int = 25
+    string_per_char: int = 1
+    statement: int = 1
+    branch: int = 1
+    loop_iteration: int = 2
+    sort_per_cmp: int = 3
+    math_builtin: int = 12
+
+    def tree_op(self, size: int) -> int:
+        return self.tree_op_base * max(1, int(math.log2(size + 2)))
+
+    def sort_cost(self, size: int) -> int:
+        if size <= 1:
+            return self.sort_per_cmp
+        return self.sort_per_cmp * int(size * math.log2(size))
+
+    def copy_cost(self, elements: int) -> int:
+        return self.copy_per_element * elements

@@ -1,0 +1,26 @@
+"""Runtime error types raised while judging a submission."""
+
+from __future__ import annotations
+
+__all__ = ["JudgeError", "RuntimeFault", "TimeLimitExceeded", "InputExhausted"]
+
+
+class JudgeError(Exception):
+    """Base class for interpreter/judge failures."""
+
+
+class RuntimeFault(JudgeError):
+    """The submission performed an illegal operation (bad index, missing
+    function, type misuse...). Maps to Codeforces' RUNTIME_ERROR verdict."""
+
+
+class TimeLimitExceeded(JudgeError):
+    """The submission exceeded the cycle budget (Codeforces' TLE)."""
+
+    def __init__(self, cycles: int):
+        self.cycles = cycles
+        super().__init__(f"time limit exceeded after {cycles} cycles")
+
+
+class InputExhausted(RuntimeFault):
+    """``cin`` read past the end of the test input."""

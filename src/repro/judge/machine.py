@@ -1,0 +1,46 @@
+"""Machine profile: cycles -> reported milliseconds with measurement noise.
+
+The Codeforces judge reports wall-clock milliseconds quantized to 1 ms,
+with run-to-run jitter. :class:`MachineProfile` models exactly that:
+a deterministic cycles-per-millisecond rate (one "machine" for the whole
+corpus — the paper's comparative framing assumes all submissions ran on
+the same system), multiplicative lognormal noise and additive jitter for
+the measurement, and 1 ms quantization with a 1 ms floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MachineProfile"]
+
+
+@dataclass
+class MachineProfile:
+    """Parameters of the simulated judging machine."""
+
+    cycles_per_ms: float = 1000.0
+    noise_sigma: float = 0.04       # lognormal sigma on the measurement
+    jitter_ms: float = 0.5          # uniform additive measurement jitter
+    seed: int = 2021
+
+    def __post_init__(self):
+        if self.cycles_per_ms <= 0:
+            raise ValueError("cycles_per_ms must be positive")
+        self._rng = np.random.default_rng(self.seed)
+
+    def ideal_ms(self, cycles: int) -> float:
+        """Noise-free runtime in milliseconds."""
+        return cycles / self.cycles_per_ms
+
+    def measure_ms(self, cycles: int) -> int:
+        """One noisy, quantized runtime measurement (>= 1 ms)."""
+        ideal = self.ideal_ms(cycles)
+        noisy = ideal * float(np.exp(self._rng.normal(0.0, self.noise_sigma)))
+        noisy += float(self._rng.uniform(0.0, self.jitter_ms))
+        return max(1, int(round(noisy)))
+
+    def time_limit_cycles(self, limit_ms: float) -> int:
+        return int(limit_ms * self.cycles_per_ms)

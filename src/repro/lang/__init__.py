@@ -1,0 +1,34 @@
+"""C++-subset frontend: the reproduction's stand-in for the ROSE compiler.
+
+The paper generates ASTs with ROSE and simplifies them to the function
+definitions under a synthetic root (Section IV-A). This package provides
+the same contract for the C++ subset our corpus emits:
+
+>>> from repro.lang import parse, simplify, flatten
+>>> unit = parse("int main() { int x = 1; return x; }")
+>>> tree = flatten(simplify(unit))
+>>> tree.kinds[0]
+'root'
+"""
+
+from . import cpp_ast
+from .diff import kind_delta, structural_similarity, tree_edit_distance
+from .errors import FrontendError, LexError, ParseError
+from .lexer import tokenize
+from .parser import parse
+from .printer import to_source
+from .simplify import FlatTree, flatten, simplify
+from .traversal import (
+    find_all, kind_histogram, node_count, postorder, preorder, tree_depth,
+)
+from .vocab import NodeVocab, canonical_kinds
+
+__all__ = [
+    "cpp_ast", "tokenize", "parse", "to_source",
+    "simplify", "flatten", "FlatTree",
+    "NodeVocab", "canonical_kinds",
+    "preorder", "postorder", "node_count", "tree_depth", "kind_histogram",
+    "find_all",
+    "FrontendError", "LexError", "ParseError",
+    "kind_delta", "tree_edit_distance", "structural_similarity",
+]

@@ -1,0 +1,504 @@
+"""Typed AST for the C++ subset.
+
+Every node exposes:
+
+* ``kind`` — the node-type string used for embedding lookup. Following
+  the paper (Fig. 7 distinguishes e.g. ``plus_plus`` from
+  ``plus_assign`` and string from char literals), operator identity and
+  literal category are folded into the kind.
+* ``children()`` — the ordered child nodes, defining tree topology.
+* ``category`` — coarse grouping used to colour Fig. 7(a):
+  ``operation``, ``expression``, ``statement``, ``literal``, ``support``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "Node", "TranslationUnit", "Include", "UsingNamespace", "FunctionDef",
+    "Param", "TypeSpec", "Block", "VarDecl", "Declarator", "ExprStmt",
+    "If", "For", "While", "DoWhile", "Return", "Break", "Continue",
+    "IoRead", "IoWrite", "Assign", "Ternary", "BinaryOp", "UnaryOp",
+    "PostfixOp", "Call", "MethodCall", "Index", "Member", "Ident",
+    "IntLit", "FloatLit", "CharLit", "StringLit", "BoolLit", "Root",
+    "Construct",
+    "BINARY_OP_NAMES", "ASSIGN_OP_NAMES", "UNARY_OP_NAMES", "POSTFIX_OP_NAMES",
+]
+
+BINARY_OP_NAMES = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+    "<": "lt", ">": "gt", "<=": "le", ">=": "ge", "==": "eq", "!=": "ne",
+    "&&": "logical_and", "||": "logical_or",
+    "&": "bit_and", "|": "bit_or", "^": "bit_xor",
+    "<<": "shl", ">>": "shr",
+}
+
+ASSIGN_OP_NAMES = {
+    "=": "assign", "+=": "plus_assign", "-=": "minus_assign",
+    "*=": "times_assign", "/=": "div_assign", "%=": "mod_assign",
+    "&=": "and_assign", "|=": "or_assign", "^=": "xor_assign",
+    "<<=": "shl_assign", ">>=": "shr_assign",
+}
+
+UNARY_OP_NAMES = {
+    "-": "negate", "!": "logical_not", "~": "bit_not",
+    "++": "plus_plus_pre", "--": "minus_minus_pre", "+": "unary_plus",
+}
+
+POSTFIX_OP_NAMES = {"++": "plus_plus", "--": "minus_minus"}
+
+
+class Node:
+    """Base AST node. Subclasses set ``kind`` (possibly per-instance)."""
+
+    kind: str = "node"
+    category: str = "support"
+
+    def children(self) -> Iterator["Node"]:
+        return iter(())
+
+    def walk(self) -> Iterator["Node"]:
+        """Pre-order traversal of this subtree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(kind={self.kind!r})"
+
+
+# ---------------------------------------------------------------------------
+# top level
+# ---------------------------------------------------------------------------
+@dataclass(repr=False)
+class Include(Node):
+    header: str = ""
+    kind = "include"
+    category = "support"
+
+
+@dataclass(repr=False)
+class UsingNamespace(Node):
+    name: str = "std"
+    kind = "using_namespace"
+    category = "support"
+
+
+@dataclass(repr=False)
+class TypeSpec(Node):
+    """A type such as ``int``, ``long long``, ``vector<int>``, ``pair<int,int>``."""
+
+    base: str = "int"
+    args: list["TypeSpec"] = field(default_factory=list)
+    const: bool = False
+    category = "support"
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        return f"type_{self.base}"
+
+    def children(self):
+        return iter(self.args)
+
+    def __str__(self) -> str:
+        inner = f"<{', '.join(map(str, self.args))}>" if self.args else ""
+        prefix = "const " if self.const else ""
+        return f"{prefix}{self.base}{inner}"
+
+
+@dataclass(repr=False)
+class Param(Node):
+    type: TypeSpec = field(default_factory=TypeSpec)
+    name: str = ""
+    by_ref: bool = False
+    kind = "param"
+    category = "support"
+
+    def children(self):
+        return iter((self.type,))
+
+
+@dataclass(repr=False)
+class FunctionDef(Node):
+    return_type: TypeSpec = field(default_factory=TypeSpec)
+    name: str = ""
+    params: list[Param] = field(default_factory=list)
+    body: "Block" = None  # type: ignore[assignment]
+    kind = "function_def"
+    category = "support"
+
+    def children(self):
+        yield self.return_type
+        yield from self.params
+        if self.body is not None:
+            yield self.body
+
+
+@dataclass(repr=False)
+class TranslationUnit(Node):
+    includes: list[Include] = field(default_factory=list)
+    usings: list[UsingNamespace] = field(default_factory=list)
+    globals: list["VarDecl"] = field(default_factory=list)
+    functions: list[FunctionDef] = field(default_factory=list)
+    kind = "translation_unit"
+    category = "support"
+
+    def children(self):
+        yield from self.includes
+        yield from self.usings
+        yield from self.globals
+        yield from self.functions
+
+
+@dataclass(repr=False)
+class Root(Node):
+    """Synthetic root of the *simplified* AST (paper Section IV-A):
+    all function definitions hang directly under it."""
+
+    functions: list[FunctionDef] = field(default_factory=list)
+    kind = "root"
+    category = "support"
+
+    def children(self):
+        return iter(self.functions)
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+@dataclass(repr=False)
+class Block(Node):
+    statements: list[Node] = field(default_factory=list)
+    kind = "block"
+    category = "statement"
+
+    def children(self):
+        return iter(self.statements)
+
+
+@dataclass(repr=False)
+class Declarator(Node):
+    """One declared name with optional initializer and array extents."""
+
+    name: str = ""
+    init: Node | None = None
+    array_sizes: list[Node] = field(default_factory=list)
+    kind = "declarator"
+    category = "support"
+
+    def children(self):
+        yield from self.array_sizes
+        if self.init is not None:
+            yield self.init
+
+
+@dataclass(repr=False)
+class VarDecl(Node):
+    type: TypeSpec = field(default_factory=TypeSpec)
+    declarators: list[Declarator] = field(default_factory=list)
+    kind = "var_decl"
+    category = "statement"
+
+    def children(self):
+        yield self.type
+        yield from self.declarators
+
+
+@dataclass(repr=False)
+class ExprStmt(Node):
+    expr: Node = None  # type: ignore[assignment]
+    kind = "expr_stmt"
+    category = "statement"
+
+    def children(self):
+        return iter((self.expr,))
+
+
+@dataclass(repr=False)
+class If(Node):
+    cond: Node = None  # type: ignore[assignment]
+    then: Node = None  # type: ignore[assignment]
+    orelse: Node | None = None
+    kind = "if_stmt"
+    category = "statement"
+
+    def children(self):
+        yield self.cond
+        yield self.then
+        if self.orelse is not None:
+            yield self.orelse
+
+
+@dataclass(repr=False)
+class For(Node):
+    init: Node | None = None
+    cond: Node | None = None
+    step: Node | None = None
+    body: Node = None  # type: ignore[assignment]
+    kind = "for_stmt"
+    category = "statement"
+
+    def children(self):
+        for part in (self.init, self.cond, self.step, self.body):
+            if part is not None:
+                yield part
+
+
+@dataclass(repr=False)
+class While(Node):
+    cond: Node = None  # type: ignore[assignment]
+    body: Node = None  # type: ignore[assignment]
+    kind = "while_stmt"
+    category = "statement"
+
+    def children(self):
+        yield self.cond
+        yield self.body
+
+
+@dataclass(repr=False)
+class DoWhile(Node):
+    body: Node = None  # type: ignore[assignment]
+    cond: Node = None  # type: ignore[assignment]
+    kind = "do_while_stmt"
+    category = "statement"
+
+    def children(self):
+        yield self.body
+        yield self.cond
+
+
+@dataclass(repr=False)
+class Return(Node):
+    value: Node | None = None
+    kind = "return_stmt"
+    category = "statement"
+
+    def children(self):
+        if self.value is not None:
+            yield self.value
+
+
+@dataclass(repr=False)
+class Break(Node):
+    kind = "break_stmt"
+    category = "statement"
+
+
+@dataclass(repr=False)
+class Continue(Node):
+    kind = "continue_stmt"
+    category = "statement"
+
+
+@dataclass(repr=False)
+class IoRead(Node):
+    """``cin >> a >> b;``"""
+
+    targets: list[Node] = field(default_factory=list)
+    kind = "io_read"
+    category = "statement"
+
+    def children(self):
+        return iter(self.targets)
+
+
+@dataclass(repr=False)
+class IoWrite(Node):
+    """``cout << x << endl;``"""
+
+    values: list[Node] = field(default_factory=list)
+    kind = "io_write"
+    category = "statement"
+
+    def children(self):
+        return iter(self.values)
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+@dataclass(repr=False)
+class Assign(Node):
+    op: str = "="
+    target: Node = None  # type: ignore[assignment]
+    value: Node = None  # type: ignore[assignment]
+    category = "operation"
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        return f"op_{ASSIGN_OP_NAMES[self.op]}"
+
+    def children(self):
+        yield self.target
+        yield self.value
+
+
+@dataclass(repr=False)
+class Ternary(Node):
+    cond: Node = None  # type: ignore[assignment]
+    then: Node = None  # type: ignore[assignment]
+    orelse: Node = None  # type: ignore[assignment]
+    kind = "ternary"
+    category = "expression"
+
+    def children(self):
+        yield self.cond
+        yield self.then
+        yield self.orelse
+
+
+@dataclass(repr=False)
+class BinaryOp(Node):
+    op: str = "+"
+    left: Node = None  # type: ignore[assignment]
+    right: Node = None  # type: ignore[assignment]
+    category = "operation"
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        return f"op_{BINARY_OP_NAMES[self.op]}"
+
+    def children(self):
+        yield self.left
+        yield self.right
+
+
+@dataclass(repr=False)
+class UnaryOp(Node):
+    op: str = "-"
+    operand: Node = None  # type: ignore[assignment]
+    category = "operation"
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        return f"op_{UNARY_OP_NAMES[self.op]}"
+
+    def children(self):
+        return iter((self.operand,))
+
+
+@dataclass(repr=False)
+class PostfixOp(Node):
+    op: str = "++"
+    operand: Node = None  # type: ignore[assignment]
+    category = "operation"
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        return f"op_{POSTFIX_OP_NAMES[self.op]}"
+
+    def children(self):
+        return iter((self.operand,))
+
+
+@dataclass(repr=False)
+class Call(Node):
+    name: str = ""
+    args: list[Node] = field(default_factory=list)
+    kind = "call"
+    category = "expression"
+
+    def children(self):
+        return iter(self.args)
+
+
+@dataclass(repr=False)
+class Construct(Node):
+    """Temporary-object construction: ``vector<long long>(n, 0)``."""
+
+    type: "TypeSpec" = None  # type: ignore[assignment]
+    args: list[Node] = field(default_factory=list)
+    kind = "construct"
+    category = "expression"
+
+    def children(self):
+        yield self.type
+        yield from self.args
+
+
+@dataclass(repr=False)
+class MethodCall(Node):
+    """``obj.method(args)`` — STL container/string methods."""
+
+    obj: Node = None  # type: ignore[assignment]
+    method: str = ""
+    args: list[Node] = field(default_factory=list)
+    category = "expression"
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        return f"method_{self.method}"
+
+    def children(self):
+        yield self.obj
+        yield from self.args
+
+
+@dataclass(repr=False)
+class Index(Node):
+    obj: Node = None  # type: ignore[assignment]
+    index: Node = None  # type: ignore[assignment]
+    kind = "index"
+    category = "expression"
+
+    def children(self):
+        yield self.obj
+        yield self.index
+
+
+@dataclass(repr=False)
+class Member(Node):
+    """``p.first`` / ``p.second`` style field access."""
+
+    obj: Node = None  # type: ignore[assignment]
+    field_name: str = ""
+    kind = "member"
+    category = "expression"
+
+    def children(self):
+        return iter((self.obj,))
+
+
+@dataclass(repr=False)
+class Ident(Node):
+    name: str = ""
+    kind = "ident"
+    category = "expression"
+
+
+@dataclass(repr=False)
+class IntLit(Node):
+    value: int = 0
+    kind = "lit_int"
+    category = "literal"
+
+
+@dataclass(repr=False)
+class FloatLit(Node):
+    value: float = 0.0
+    kind = "lit_float"
+    category = "literal"
+
+
+@dataclass(repr=False)
+class CharLit(Node):
+    value: str = "a"
+    kind = "lit_char"
+    category = "literal"
+
+
+@dataclass(repr=False)
+class StringLit(Node):
+    value: str = ""
+    kind = "lit_string"
+    category = "literal"
+
+
+@dataclass(repr=False)
+class BoolLit(Node):
+    value: bool = False
+    kind = "lit_bool"
+    category = "literal"

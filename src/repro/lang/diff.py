@@ -1,0 +1,118 @@
+"""Structural diffing of ASTs — quantifying the paper's δ(Code).
+
+The paper's whole premise is correlating *changes in code structure*
+with changes in performance. This module makes δ(Code) a number:
+
+* :func:`kind_delta` — multiset difference of node kinds (cheap);
+* :func:`tree_edit_distance` — Zhang–Shasha ordered tree edit distance
+  with unit insert/delete/relabel costs (exact);
+* :func:`structural_similarity` — normalized to [0, 1].
+
+Used by the analysis utilities and tests; also handy for corpus
+debugging ("how different are these two submissions, really?").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from .cpp_ast import Node
+
+__all__ = ["kind_delta", "tree_edit_distance", "structural_similarity"]
+
+
+def kind_delta(a: Node, b: Node) -> dict[str, int]:
+    """Signed per-kind count difference (positive = more in ``a``)."""
+    counts = Counter(n.kind for n in a.walk())
+    counts.subtract(Counter(n.kind for n in b.walk()))
+    return {kind: diff for kind, diff in counts.items() if diff != 0}
+
+
+class _AnnotatedTree:
+    """Post-order labels, leftmost-leaf descendants and keyroots
+    (the Zhang–Shasha preprocessing)."""
+
+    def __init__(self, root: Node):
+        self.labels: list[str] = []
+        self.lmld: list[int] = []     # leftmost leaf descendant, post-order
+        self._index(root)
+        self.keyroots = self._keyroots()
+
+    def _index(self, node: Node) -> int:
+        children = list(node.children())
+        if not children:
+            position = len(self.labels)
+            self.labels.append(node.kind)
+            self.lmld.append(position)
+            return position
+        first_leaf = None
+        for child in children:
+            child_pos = self._index(child)
+            if first_leaf is None:
+                first_leaf = self.lmld[child_pos]
+        position = len(self.labels)
+        self.labels.append(node.kind)
+        self.lmld.append(first_leaf)  # type: ignore[arg-type]
+        return position
+
+    def _keyroots(self) -> list[int]:
+        seen: dict[int, int] = {}
+        for position, leaf in enumerate(self.lmld):
+            seen[leaf] = position    # keep the highest node per leftmost leaf
+        return sorted(seen.values())
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+def tree_edit_distance(a: Node, b: Node,
+                       insert_cost: int = 1, delete_cost: int = 1,
+                       relabel_cost: int = 1) -> int:
+    """Exact ordered tree edit distance (Zhang & Shasha 1989)."""
+    ta, tb = _AnnotatedTree(a), _AnnotatedTree(b)
+    n, m = len(ta), len(tb)
+    dist = [[0] * m for _ in range(n)]
+
+    def treedist(i: int, j: int) -> None:
+        li, lj = ta.lmld[i], tb.lmld[j]
+        rows = i - li + 2
+        cols = j - lj + 2
+        forest = [[0] * cols for _ in range(rows)]
+        for di in range(1, rows):
+            forest[di][0] = forest[di - 1][0] + delete_cost
+        for dj in range(1, cols):
+            forest[0][dj] = forest[0][dj - 1] + insert_cost
+        for di in range(1, rows):
+            for dj in range(1, cols):
+                node_a = li + di - 1
+                node_b = lj + dj - 1
+                if ta.lmld[node_a] == li and tb.lmld[node_b] == lj:
+                    cost = 0 if ta.labels[node_a] == tb.labels[node_b] \
+                        else relabel_cost
+                    forest[di][dj] = min(
+                        forest[di - 1][dj] + delete_cost,
+                        forest[di][dj - 1] + insert_cost,
+                        forest[di - 1][dj - 1] + cost,
+                    )
+                    dist[node_a][node_b] = forest[di][dj]
+                else:
+                    sub_rows = ta.lmld[node_a] - li
+                    sub_cols = tb.lmld[node_b] - lj
+                    forest[di][dj] = min(
+                        forest[di - 1][dj] + delete_cost,
+                        forest[di][dj - 1] + insert_cost,
+                        forest[sub_rows][sub_cols] + dist[node_a][node_b],
+                    )
+
+    for i in ta.keyroots:
+        for j in tb.keyroots:
+            treedist(i, j)
+    return dist[n - 1][m - 1]
+
+
+def structural_similarity(a: Node, b: Node) -> float:
+    """1 - normalized edit distance; 1.0 means structurally identical."""
+    size_a = sum(1 for _ in a.walk())
+    size_b = sum(1 for _ in b.walk())
+    distance = tree_edit_distance(a, b)
+    return 1.0 - distance / max(size_a + size_b, 1)

@@ -1,0 +1,23 @@
+"""Frontend error types."""
+
+from __future__ import annotations
+
+__all__ = ["FrontendError", "LexError", "ParseError"]
+
+
+class FrontendError(Exception):
+    """Base class for lexer/parser failures, carrying a source position."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        where = f" at {line}:{column}" if line else ""
+        super().__init__(f"{message}{where}")
+
+
+class LexError(FrontendError):
+    pass
+
+
+class ParseError(FrontendError):
+    pass

@@ -1,0 +1,183 @@
+"""Source re-emission from the AST (pretty-printer).
+
+Used for round-trip testing of the frontend (parse -> print -> parse
+yields an identical tree) and for debugging generated submissions.
+"""
+
+from __future__ import annotations
+
+from .cpp_ast import (
+    Assign, BinaryOp, Block, BoolLit, Break, Call, CharLit, Construct,
+    Continue, Declarator, DoWhile, ExprStmt, FloatLit, For, FunctionDef,
+    Ident, If, Include, Index, IntLit, IoRead, IoWrite, Member, MethodCall,
+    Node, Param, PostfixOp, Return, Root, StringLit, Ternary,
+    TranslationUnit, TypeSpec, UnaryOp, VarDecl, While,
+)
+
+__all__ = ["to_source"]
+
+_ESCAPES = {"\n": "\\n", "\t": "\\t", "\r": "\\r", "\\": "\\\\",
+            '"': '\\"', "'": "\\'", "\0": "\\0"}
+
+
+def _escape(text: str) -> str:
+    return "".join(_ESCAPES.get(ch, ch) for ch in text)
+
+
+def to_source(node: Node) -> str:
+    """Render an AST (or sub-tree) back to compilable-looking C++."""
+    return _Printer().render(node)
+
+
+class _Printer:
+    def __init__(self):
+        self._indent = 0
+
+    def render(self, node: Node) -> str:
+        if isinstance(node, TranslationUnit):
+            parts = [f"#include <{inc.header}>" for inc in node.includes]
+            parts.extend(f"using namespace {u.name};" for u in node.usings)
+            parts.extend(self._stmt(g) for g in node.globals)
+            parts.extend(self._function(f) for f in node.functions)
+            return "\n".join(parts) + "\n"
+        if isinstance(node, Root):
+            return "\n".join(self._function(f) for f in node.functions) + "\n"
+        if isinstance(node, FunctionDef):
+            return self._function(node)
+        if isinstance(node, Block) or self._is_statement(node):
+            return self._stmt(node)
+        return self._expr(node)
+
+    @staticmethod
+    def _is_statement(node: Node) -> bool:
+        return isinstance(node, (VarDecl, ExprStmt, If, For, While, DoWhile,
+                                 Return, Break, Continue, IoRead, IoWrite))
+
+    # ------------------------------------------------------------------
+    def _pad(self) -> str:
+        return "    " * self._indent
+
+    def _function(self, fn: FunctionDef) -> str:
+        params = ", ".join(self._param(p) for p in fn.params)
+        header = f"{fn.return_type} {fn.name}({params}) "
+        return header + self._stmt(fn.body).lstrip()
+
+    @staticmethod
+    def _param(p: Param) -> str:
+        amp = "&" if p.by_ref else ""
+        return f"{p.type} {amp}{p.name}"
+
+    # ------------------------------------------------------------------
+    def _stmt(self, node: Node) -> str:
+        pad = self._pad()
+        if isinstance(node, Block):
+            self._indent += 1
+            inner = "\n".join(self._stmt(s) for s in node.statements)
+            self._indent -= 1
+            if not inner:
+                return f"{pad}{{\n{pad}}}"
+            return f"{pad}{{\n{inner}\n{pad}}}"
+        if isinstance(node, VarDecl):
+            decls = ", ".join(self._declarator(d) for d in node.declarators)
+            return f"{pad}{node.type} {decls};"
+        if isinstance(node, ExprStmt):
+            return f"{pad}{self._expr(node.expr)};"
+        if isinstance(node, If):
+            out = f"{pad}if ({self._expr(node.cond)})\n{self._nested(node.then)}"
+            if node.orelse is not None:
+                out += f"\n{pad}else\n{self._nested(node.orelse)}"
+            return out
+        if isinstance(node, For):
+            init = ""
+            if isinstance(node.init, VarDecl):
+                init = self._stmt(node.init).strip().rstrip(";")
+            elif isinstance(node.init, ExprStmt):
+                init = self._expr(node.init.expr)
+            cond = self._expr(node.cond) if node.cond is not None else ""
+            step = self._expr(node.step) if node.step is not None else ""
+            return f"{pad}for ({init}; {cond}; {step})\n{self._nested(node.body)}"
+        if isinstance(node, While):
+            return f"{pad}while ({self._expr(node.cond)})\n{self._nested(node.body)}"
+        if isinstance(node, DoWhile):
+            return (f"{pad}do\n{self._nested(node.body)}\n"
+                    f"{pad}while ({self._expr(node.cond)});")
+        if isinstance(node, Return):
+            if node.value is None:
+                return f"{pad}return;"
+            return f"{pad}return {self._expr(node.value)};"
+        if isinstance(node, Break):
+            return f"{pad}break;"
+        if isinstance(node, Continue):
+            return f"{pad}continue;"
+        if isinstance(node, IoRead):
+            chain = " >> ".join(self._expr(t) for t in node.targets)
+            return f"{pad}cin >> {chain};"
+        if isinstance(node, IoWrite):
+            chain = " << ".join(self._expr(v) for v in node.values)
+            return f"{pad}cout << {chain};"
+        raise TypeError(f"not a statement: {type(node).__name__}")
+
+    def _nested(self, node: Node) -> str:
+        if isinstance(node, Block):
+            return self._stmt(node)
+        self._indent += 1
+        out = self._stmt(node)
+        self._indent -= 1
+        return out
+
+    def _declarator(self, d: Declarator) -> str:
+        out = d.name
+        for size in d.array_sizes:
+            out += f"[{self._expr(size)}]"
+        if isinstance(d.init, Call) and d.init.name == "__ctor__":
+            args = ", ".join(self._expr(a) for a in d.init.args)
+            out += f"({args})"
+        elif d.init is not None:
+            out += f" = {self._expr(d.init)}"
+        return out
+
+    # ------------------------------------------------------------------
+    def _expr(self, node: Node) -> str:
+        if isinstance(node, Assign):
+            return f"{self._expr(node.target)} {node.op} {self._expr(node.value)}"
+        if isinstance(node, Ternary):
+            return (f"({self._expr(node.cond)} ? {self._expr(node.then)}"
+                    f" : {self._expr(node.orelse)})")
+        if isinstance(node, BinaryOp):
+            return f"({self._expr(node.left)} {node.op} {self._expr(node.right)})"
+        if isinstance(node, UnaryOp):
+            return f"({node.op}{self._expr(node.operand)})"
+        if isinstance(node, PostfixOp):
+            return f"{self._expr(node.operand)}{node.op}"
+        if isinstance(node, Call):
+            args = ", ".join(self._expr(a) for a in node.args)
+            if node.name.startswith("__cast_"):
+                ctype = node.name[len("__cast_"):-2].replace("_", " ")
+                return f"({ctype})({args})"
+            return f"{node.name}({args})"
+        if isinstance(node, Construct):
+            args = ", ".join(self._expr(a) for a in node.args)
+            return f"{node.type}({args})"
+        if isinstance(node, MethodCall):
+            args = ", ".join(self._expr(a) for a in node.args)
+            return f"{self._expr(node.obj)}.{node.method}({args})"
+        if isinstance(node, Index):
+            return f"{self._expr(node.obj)}[{self._expr(node.index)}]"
+        if isinstance(node, Member):
+            return f"{self._expr(node.obj)}.{node.field_name}"
+        if isinstance(node, Ident):
+            return node.name
+        if isinstance(node, IntLit):
+            return str(node.value)
+        if isinstance(node, FloatLit):
+            text = repr(node.value)
+            return text if ("." in text or "e" in text) else text + ".0"
+        if isinstance(node, CharLit):
+            return f"'{_escape(node.value)}'"
+        if isinstance(node, StringLit):
+            return f'"{_escape(node.value)}"'
+        if isinstance(node, BoolLit):
+            return "true" if node.value else "false"
+        if isinstance(node, TypeSpec):
+            return str(node)
+        raise TypeError(f"not an expression: {type(node).__name__}")

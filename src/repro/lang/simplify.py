@@ -1,0 +1,83 @@
+"""The paper's AST simplification pass (Section IV-A).
+
+"The AST from ROSE is modified only to include internal nodes that are
+part of the source code's function definitions. [...] the source code's
+function definitions are all set as children of a root node. [...] the
+AST generation process outputs a list of the node IDs and a list of
+links between nodes."
+
+:func:`simplify` re-roots the function definitions under a synthetic
+:class:`~repro.lang.cpp_ast.Root`; :func:`flatten` converts any AST into
+the (node-kind list, link list) form the models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cpp_ast import FunctionDef, Node, Root, TranslationUnit
+
+__all__ = ["simplify", "flatten", "FlatTree"]
+
+
+def simplify(unit: TranslationUnit) -> Root:
+    """Keep only function-definition subtrees, under one synthetic root."""
+    if not isinstance(unit, TranslationUnit):
+        raise TypeError(f"expected TranslationUnit, got {type(unit).__name__}")
+    functions = [f for f in unit.functions if isinstance(f, FunctionDef)]
+    if not functions:
+        raise ValueError("source has no function definitions")
+    return Root(functions=functions)
+
+
+@dataclass
+class FlatTree:
+    """Topology + node kinds, the exact output format of the paper's
+    AST-generation step: node IDs and links between nodes.
+
+    ``kinds[i]`` is the node-type string of node ``i``;
+    ``children[i]`` lists i's child node indices (pre-order numbering,
+    node 0 is the root); ``categories[i]`` is the coarse Fig.-7 colour
+    group of node ``i``.
+    """
+
+    kinds: list[str] = field(default_factory=list)
+    children: list[list[int]] = field(default_factory=list)
+    categories: list[str] = field(default_factory=list)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.kinds)
+
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        return [(parent, child)
+                for parent, kids in enumerate(self.children)
+                for child in kids]
+
+    def depth(self) -> int:
+        """Height of the tree (single node -> 1)."""
+        depths = [1] * self.num_nodes
+        # Children always have larger indices (pre-order), so reverse scan.
+        for parent in range(self.num_nodes - 1, -1, -1):
+            if self.children[parent]:
+                depths[parent] = 1 + max(depths[c] for c in self.children[parent])
+        return depths[0] if self.num_nodes else 0
+
+
+def flatten(root: Node) -> FlatTree:
+    """Number nodes in pre-order and record parent->child links."""
+    flat = FlatTree()
+
+    def visit(node: Node) -> int:
+        index = flat.num_nodes
+        flat.kinds.append(node.kind)
+        flat.categories.append(node.category)
+        flat.children.append([])
+        for child in node.children():
+            child_index = visit(child)
+            flat.children[index].append(child_index)
+        return index
+
+    visit(root)
+    return flat

@@ -1,0 +1,64 @@
+"""Token definitions for the C++ subset accepted by the frontend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+__all__ = ["TokenKind", "Token", "KEYWORDS", "TYPE_KEYWORDS", "OPERATORS"]
+
+
+class TokenKind(Enum):
+    IDENT = auto()
+    KEYWORD = auto()
+    INT_LIT = auto()
+    FLOAT_LIT = auto()
+    CHAR_LIT = auto()
+    STRING_LIT = auto()
+    OPERATOR = auto()
+    PUNCT = auto()       # ( ) { } [ ] ; , : ? :: .
+    PREPROCESSOR = auto()
+    EOF = auto()
+
+
+#: Control/structure keywords the parser understands.
+KEYWORDS = frozenset({
+    "if", "else", "for", "while", "do", "return", "break", "continue",
+    "using", "namespace", "true", "false", "const", "struct", "typedef",
+    "sizeof", "new", "delete", "switch", "case", "default",
+})
+
+#: Type keywords; ``vector`` etc. are library identifiers handled by the parser.
+TYPE_KEYWORDS = frozenset({
+    "int", "long", "double", "float", "bool", "char", "void", "auto",
+    "unsigned", "signed", "short", "size_t",
+})
+
+#: Multi-character operators, longest first for maximal munch.
+OPERATORS = (
+    "<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "::",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme with its source position (1-based line/column)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_op(self, *texts: str) -> bool:
+        return self.kind is TokenKind.OPERATOR and self.text in texts
+
+    def is_punct(self, *texts: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text in texts
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"

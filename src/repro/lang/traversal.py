@@ -1,0 +1,41 @@
+"""Tree traversal helpers and structural metrics over ASTs."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator
+
+from .cpp_ast import Node
+
+__all__ = ["preorder", "postorder", "node_count", "tree_depth",
+           "kind_histogram", "find_all"]
+
+
+def preorder(root: Node) -> Iterator[Node]:
+    yield from root.walk()
+
+
+def postorder(root: Node) -> Iterator[Node]:
+    for child in root.children():
+        yield from postorder(child)
+    yield root
+
+
+def node_count(root: Node) -> int:
+    return sum(1 for _ in root.walk())
+
+
+def tree_depth(root: Node) -> int:
+    """Height of the tree (a lone node has depth 1)."""
+    kids = list(root.children())
+    if not kids:
+        return 1
+    return 1 + max(tree_depth(child) for child in kids)
+
+
+def kind_histogram(root: Node) -> Counter:
+    return Counter(node.kind for node in root.walk())
+
+
+def find_all(root: Node, node_type: type) -> list[Node]:
+    return [node for node in root.walk() if isinstance(node, node_type)]

@@ -1,0 +1,118 @@
+"""Node-type vocabulary: consistent integer IDs across all trees.
+
+The paper assigns "a unique ID to each type of internal node (e.g.,
+``for``, ``while``), consistent across all trees in the database"
+(Section IV-B). :class:`NodeVocab` is that registry. A canonical base
+vocabulary covering every kind the frontend can produce is pre-seeded so
+IDs are stable regardless of corpus order; unseen kinds (future node
+types) can still be added dynamically or mapped to ``<unk>``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .cpp_ast import (
+    ASSIGN_OP_NAMES, BINARY_OP_NAMES, POSTFIX_OP_NAMES, UNARY_OP_NAMES,
+)
+
+__all__ = ["NodeVocab", "canonical_kinds"]
+
+_STRUCTURAL_KINDS = [
+    "root", "translation_unit", "include", "using_namespace", "function_def",
+    "param", "block", "var_decl", "declarator", "expr_stmt", "if_stmt",
+    "for_stmt", "while_stmt", "do_while_stmt", "return_stmt", "break_stmt",
+    "continue_stmt", "io_read", "io_write", "ternary", "call", "construct",
+    "index",
+    "member", "ident", "lit_int", "lit_float", "lit_char", "lit_string",
+    "lit_bool",
+]
+
+_TYPE_KINDS = [
+    f"type_{base}" for base in (
+        "int", "long", "long long", "unsigned", "unsigned long long",
+        "double", "float", "bool", "char", "void", "auto", "size_t", "short",
+        "string", "vector", "pair", "map", "set", "multiset", "queue",
+        "deque", "stack", "priority_queue", "unordered_map", "unordered_set",
+    )
+]
+
+_METHOD_KINDS = [
+    f"method_{name}" for name in (
+        "push_back", "pop_back", "size", "empty", "clear", "begin", "end",
+        "rbegin", "rend", "front", "back", "insert", "erase", "count",
+        "find", "push", "pop", "top", "length", "substr", "sort",
+        "first", "second", "resize", "assign", "at", "emplace_back",
+    )
+]
+
+
+def canonical_kinds() -> list[str]:
+    """Every node-kind string the frontend can emit, in a fixed order."""
+    kinds = list(_STRUCTURAL_KINDS)
+    kinds.extend(f"op_{name}" for name in BINARY_OP_NAMES.values())
+    kinds.extend(f"op_{name}" for name in ASSIGN_OP_NAMES.values())
+    kinds.extend(f"op_{name}" for name in UNARY_OP_NAMES.values())
+    kinds.extend(f"op_{name}" for name in POSTFIX_OP_NAMES.values())
+    kinds.extend(_TYPE_KINDS)
+    kinds.extend(_METHOD_KINDS)
+    return kinds
+
+
+class NodeVocab:
+    """Bidirectional kind <-> ID mapping with an ``<unk>`` fallback."""
+
+    UNK = "<unk>"
+
+    def __init__(self, kinds: list[str] | None = None, frozen: bool = False):
+        self._kind_to_id: dict[str, int] = {}
+        self._id_to_kind: list[str] = []
+        self.frozen = False
+        self.add(self.UNK)
+        for kind in (kinds if kinds is not None else canonical_kinds()):
+            self.add(kind)
+        self.frozen = frozen
+
+    def __len__(self) -> int:
+        return len(self._id_to_kind)
+
+    def __contains__(self, kind: str) -> bool:
+        return kind in self._kind_to_id
+
+    def add(self, kind: str) -> int:
+        """Register ``kind`` (idempotent); returns its ID."""
+        if kind in self._kind_to_id:
+            return self._kind_to_id[kind]
+        if self.frozen:
+            raise KeyError(f"vocabulary is frozen; unknown kind {kind!r}")
+        idx = len(self._id_to_kind)
+        self._kind_to_id[kind] = idx
+        self._id_to_kind.append(kind)
+        return idx
+
+    def encode(self, kind: str) -> int:
+        """ID for ``kind``; unknown kinds map to ``<unk>`` when frozen."""
+        if kind in self._kind_to_id:
+            return self._kind_to_id[kind]
+        if self.frozen:
+            return self._kind_to_id[self.UNK]
+        return self.add(kind)
+
+    def encode_all(self, kinds: list[str]) -> list[int]:
+        return [self.encode(k) for k in kinds]
+
+    def decode(self, index: int) -> str:
+        return self._id_to_kind[index]
+
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"kinds": self._id_to_kind[1:],
+                                    "frozen": self.frozen}))
+
+    @classmethod
+    def load(cls, path) -> "NodeVocab":
+        payload = json.loads(Path(path).read_text())
+        return cls(kinds=payload["kinds"], frozen=payload["frozen"])

@@ -1,0 +1,78 @@
+"""Functional wrappers around :class:`~repro.nn.tensor.Tensor` operations.
+
+These mirror the small subset of ``torch.nn.functional`` that the paper's
+architectures require.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "tanh",
+    "sigmoid",
+    "relu",
+    "softmax",
+    "log_softmax",
+    "linear",
+    "dropout",
+    "concat",
+    "stack",
+    "add_n",
+]
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    ex = shifted.exp()
+    return ex / ex.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` (same convention as torch)."""
+    out = x.matmul(weight.T)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout; identity when not training or p == 0."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def concat(tensors, axis: int = -1) -> Tensor:
+    return Tensor.concat(list(tensors), axis=axis)
+
+
+def stack(tensors, axis: int = 0) -> Tensor:
+    return Tensor.stack(list(tensors), axis=axis)
+
+
+def add_n(tensors) -> Tensor:
+    return Tensor.add_n(list(tensors))

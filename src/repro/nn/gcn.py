@@ -1,0 +1,111 @@
+"""Graph Convolutional Network baseline (Kipf & Welling 2016).
+
+The paper compares its tree-LSTM encoder against a GCN that treats the
+AST as an undirected graph: stacked graph-convolution layers propagate
+information between *all* neighbours (parent and children alike), which
+is exactly the distinction the paper draws — GCN lacks the parent/child
+asymmetry that the tree-LSTM exploits.
+
+The adjacency is normalized once per graph as ``D^-1/2 (A + I) D^-1/2``.
+A wrapper readout layer combines node states into a code vector (the
+paper's "wrapper layer that combines information from an internal node's
+directly connected nodes" followed by pooling into the classifier).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["normalized_adjacency", "GraphConv", "GCN"]
+
+
+def normalized_adjacency(num_nodes: int, edges: list[tuple[int, int]]) -> np.ndarray:
+    """Dense symmetric-normalized adjacency with self-loops.
+
+    ASTs in this pipeline are a few hundred nodes, so a dense matrix is
+    both simpler and faster than sparse formats at this scale.
+    """
+    adj = np.eye(num_nodes)
+    for a, b in edges:
+        if not (0 <= a < num_nodes and 0 <= b < num_nodes):
+            raise ValueError(f"edge ({a}, {b}) out of range for {num_nodes} nodes")
+        adj[a, b] = 1.0
+        adj[b, a] = 1.0
+    deg = adj.sum(axis=1)
+    inv_sqrt = 1.0 / np.sqrt(deg)
+    return adj * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+class GraphConv(Module):
+    """One graph convolution: ``H' = act(Â H W + b)``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 activation: str = "relu",
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        if activation not in ("relu", "tanh", "none"):
+            raise ValueError(f"unknown activation {activation!r}")
+        self.weight = Parameter(init.xavier_uniform((out_features, in_features), rng))
+        self.bias = Parameter(np.zeros(out_features))
+        self.activation = activation
+
+    def forward(self, h: Tensor, adj_norm: np.ndarray) -> Tensor:
+        out = Tensor(adj_norm).matmul(h).matmul(self.weight.T) + self.bias
+        if self.activation == "relu":
+            return out.relu()
+        if self.activation == "tanh":
+            return out.tanh()
+        return out
+
+
+class GCN(Module):
+    """Stack of graph convolutions with mean/max readout.
+
+    ``encode`` produces the code vector consumed by the pair classifier,
+    mirroring :meth:`repro.nn.treelstm.TreeLSTMStack.encode`.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 2,
+                 readout: str = "mean", rng: np.random.Generator | None = None):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        if readout not in ("mean", "root", "meanmax"):
+            raise ValueError(f"unknown readout {readout!r}")
+        rng = rng or np.random.default_rng(0)
+        self.num_layers = num_layers
+        self.readout = readout
+        self._layer_names = []
+        in_dim = input_size
+        for layer in range(num_layers):
+            conv = GraphConv(in_dim, hidden_size, activation="relu", rng=rng)
+            name = f"conv{layer}"
+            self.register_module(name, conv)
+            self._layer_names.append(name)
+            in_dim = hidden_size
+        self.hidden_size = hidden_size
+        self.output_size = 2 * hidden_size if readout == "meanmax" else hidden_size
+
+    def forward(self, x: Tensor, adj_norm: np.ndarray) -> Tensor:
+        h = x
+        for name in self._layer_names:
+            h = self._modules[name](h, adj_norm)
+        return h
+
+    def encode(self, x: Tensor, adj_norm: np.ndarray, root: int = 0) -> Tensor:
+        h = self.forward(x, adj_norm)
+        if self.readout == "root":
+            return h[root]
+        mean = h.mean(axis=0)
+        if self.readout == "mean":
+            return mean
+        # meanmax: concatenate mean pooling with a soft-max pooling proxy
+        # (hard max has sparse gradients; logsumexp keeps them dense).
+        mx = ((h - Tensor(h.data.max(axis=0))).exp().sum(axis=0)).log() \
+            + Tensor(h.data.max(axis=0))
+        return Tensor.concat([mean, mx], axis=0)

@@ -1,0 +1,67 @@
+"""Loss functions.
+
+The paper optimizes binary cross-entropy between the classifier's sigmoid
+probability and the slower/faster label (Section IV-D). We implement the
+numerically stable logits formulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["bce_with_logits", "binary_cross_entropy", "mse_loss", "cross_entropy"]
+
+
+def bce_with_logits(logits: Tensor, targets) -> Tensor:
+    """Stable BCE, mean-reduced: ``max(x,0) - x*y + log(1 + exp(-|x|))``.
+
+    Implemented as a fused primitive with the exact analytic gradient
+    ``(sigmoid(x) - y) / n``, which is both faster and numerically safer
+    than composing it from elementary ops.
+    """
+    y = np.asarray(targets, dtype=np.float64)
+    x = logits.data
+    if x.shape != y.shape:
+        y = np.broadcast_to(y, x.shape)
+    loss_data = np.maximum(x, 0.0) - x * y + np.log1p(np.exp(-np.abs(x)))
+    n = max(x.size, 1)
+
+    def backward(grad):
+        if logits.requires_grad:
+            p = np.empty_like(x)
+            pos = x >= 0
+            p[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+            ex = np.exp(x[~pos])
+            p[~pos] = ex / (1.0 + ex)
+            logits._accumulate(grad * (p - y) / n)
+
+    return Tensor._make(np.asarray(loss_data.mean()), (logits,), backward)
+
+
+def binary_cross_entropy(probs: Tensor, targets, eps: float = 1e-12) -> Tensor:
+    """BCE on probabilities (clamped); prefer :func:`bce_with_logits`."""
+    y = Tensor._coerce(targets)
+    p = Tensor(np.clip(probs.data, eps, 1.0 - eps), requires_grad=False)
+    # Reconnect to the graph through a pass-through clamp:
+    clamped = probs + (p - probs.detach())
+    loss = -(y * clamped.log() + (1.0 - y) * (1.0 - clamped).log())
+    return loss.mean()
+
+
+def mse_loss(pred: Tensor, targets) -> Tensor:
+    y = Tensor._coerce(targets)
+    diff = pred - y
+    return (diff * diff).mean()
+
+
+def cross_entropy(logits: Tensor, target_indices) -> Tensor:
+    """Multi-class cross entropy over the last axis (used by the GCN's
+    auxiliary node-classification view)."""
+    idx = np.asarray(target_indices, dtype=np.int64)
+    shifted = logits - Tensor(logits.data.max(axis=-1, keepdims=True))
+    log_probs = shifted - shifted.exp().sum(axis=-1, keepdims=True).log()
+    n = idx.shape[0]
+    picked = log_probs[np.arange(n), idx]
+    return -picked.mean()

@@ -1,0 +1,152 @@
+"""First-order optimizers and gradient utilities.
+
+Training in the paper is standard mini-batch SGD-family optimization of the
+BCE objective; we provide SGD (+momentum), Adam, AdaGrad and RMSProp plus
+global-norm gradient clipping and step-decay learning-rate scheduling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdaGrad", "RMSProp",
+           "clip_grad_norm", "StepLR"]
+
+
+class Optimizer:
+    """Base class holding the parameter list and zero_grad logic."""
+
+    def __init__(self, parameters, lr: float):
+        self.parameters: list[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, parameters, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, vel in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                vel *= self.momentum
+                vel += grad
+                grad = vel
+            p.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(self, parameters, lr: float = 1e-3, betas=(0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1 ** self._t
+        bias2 = 1.0 - b2 ** self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= b1
+            m += (1.0 - b1) * grad
+            v *= b2
+            v += (1.0 - b2) * grad * grad
+            p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+
+class AdaGrad(Optimizer):
+    def __init__(self, parameters, lr: float = 0.01, eps: float = 1e-10):
+        super().__init__(parameters, lr)
+        self.eps = eps
+        self._accum = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, acc in zip(self.parameters, self._accum):
+            if p.grad is None:
+                continue
+            acc += p.grad * p.grad
+            p.data -= self.lr * p.grad / (np.sqrt(acc) + self.eps)
+
+
+class RMSProp(Optimizer):
+    def __init__(self, parameters, lr: float = 0.01, alpha: float = 0.99,
+                 eps: float = 1e-8):
+        super().__init__(parameters, lr)
+        self.alpha = alpha
+        self.eps = eps
+        self._sq = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, sq in zip(self.parameters, self._sq):
+            if p.grad is None:
+                continue
+            sq *= self.alpha
+            sq += (1.0 - self.alpha) * p.grad * p.grad
+            p.data -= self.lr * p.grad / (np.sqrt(sq) + self.eps)
+
+
+def clip_grad_norm(parameters, max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm, which trainers log to monitor the
+    exploding-gradient behaviour the paper cites as motivation for LSTMs.
+    """
+    params = [p for p in parameters if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if max_norm > 0 and total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+class StepLR:
+    """Multiply the optimizer's learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> None:
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma

@@ -1,0 +1,90 @@
+"""Sequential LSTM (equation 3 of the paper).
+
+The paper introduces the standard LSTM transition equations before
+generalizing them to trees; we implement them both as a reusable cell and
+as a chain over a sequence, and the test-suite checks that a tree-LSTM
+applied to a degenerate chain-shaped tree matches this sequential LSTM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["LSTMCell", "LSTM"]
+
+
+class LSTMCell(Module):
+    """One LSTM step: gates i, f, o, candidate u, cell c, hidden h.
+
+    Weights are fused into single (4h, in) / (4h, h) matrices with gate
+    order ``[i, f, o, u]`` for efficiency.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_x = Parameter(init.xavier_uniform((4 * hidden_size, input_size), rng))
+        self.w_h = Parameter(init.xavier_uniform((4 * hidden_size, hidden_size), rng))
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size:2 * hidden_size] = 1.0  # forget-gate bias trick
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor] | None = None):
+        """Advance one step. ``x`` is (batch, input_size) or (input_size,)."""
+        batched = x.ndim == 2
+        n = x.shape[0] if batched else 1
+        if state is None:
+            shape = (n, self.hidden_size) if batched else (self.hidden_size,)
+            h_prev = Tensor(np.zeros(shape))
+            c_prev = Tensor(np.zeros(shape))
+        else:
+            h_prev, c_prev = state
+
+        gates = x.matmul(self.w_x.T) + h_prev.matmul(self.w_h.T) + self.bias
+        hs = self.hidden_size
+        axis = 1 if batched else 0
+
+        def chunk(k: int) -> Tensor:
+            slicer = [slice(None)] * gates.ndim
+            slicer[axis] = slice(k * hs, (k + 1) * hs)
+            return gates[tuple(slicer)]
+
+        i = chunk(0).sigmoid()
+        f = chunk(1).sigmoid()
+        o = chunk(2).sigmoid()
+        u = chunk(3).tanh()
+        c = i * u + f * c_prev
+        h = o * c.tanh()
+        return h, c
+
+
+class LSTM(Module):
+    """Unidirectional LSTM over a sequence of feature vectors."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, xs: Tensor) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        """Run over ``xs`` of shape (seq_len, input_size).
+
+        Returns (stacked hidden states, (h_final, c_final)).
+        """
+        if xs.ndim != 2:
+            raise ValueError("LSTM expects (seq_len, input_size) input")
+        state = None
+        hs = []
+        for t in range(xs.shape[0]):
+            h, c = self.cell(xs[t], state)
+            state = (h, c)
+            hs.append(h)
+        return Tensor.stack(hs, axis=0), state

@@ -1,0 +1,32 @@
+"""Save/load module state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_state", "load_state", "save_module", "load_module"]
+
+
+def save_state(state: dict, path) -> None:
+    """Write a ``name -> array`` mapping to an npz file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **{k: np.asarray(v) for k, v in state.items()})
+
+
+def load_state(path) -> dict:
+    with np.load(Path(path)) as archive:
+        return {k: archive[k] for k in archive.files}
+
+
+def save_module(module: Module, path) -> None:
+    save_state(module.state_dict(), path)
+
+
+def load_module(module: Module, path) -> Module:
+    module.load_state_dict(load_state(path))
+    return module

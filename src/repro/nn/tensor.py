@@ -1,0 +1,455 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the numerical core of the reproduction: every model in the
+paper (sequential LSTM, child-sum tree-LSTM, GCN, the sigmoid classifier)
+is expressed as a graph of :class:`Tensor` operations, and gradients are
+obtained by a single topological backward sweep, exactly as a framework
+like PyTorch would do.
+
+Only the operations the paper's architectures need are implemented, but
+each one supports full numpy broadcasting with correct gradient
+reduction, which the test-suite verifies against finite differences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph construction (like torch.no_grad)."""
+
+    def __enter__(self):
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+        return False
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations will be recorded for backprop."""
+    return _GRAD_ENABLED
+
+
+def _as_array(data) -> np.ndarray:
+    if isinstance(data, np.ndarray):
+        if data.dtype == np.float64:
+            return data
+        return data.astype(np.float64)
+    return np.asarray(data, dtype=np.float64)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast dimensions.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum along axes that were 1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array plus the bookkeeping needed for reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a float64 numpy array.
+    requires_grad:
+        If True, gradients are accumulated into ``.grad`` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._backward = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}{tag})"
+
+    # ------------------------------------------------------------------
+    # graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: tuple["Tensor", ...], backward) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other) + (-self)
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-grad * self.data / (other.data ** 2), other.shape)
+                )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # linear algebra
+    # ------------------------------------------------------------------
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data @ other.data
+
+        def backward(grad):
+            a, b = self.data, other.data
+            if self.requires_grad:
+                if b.ndim == 1:
+                    ga = np.outer(grad, b) if grad.ndim else grad * b
+                    if a.ndim == 1:
+                        ga = grad * b
+                else:
+                    ga = grad @ np.swapaxes(b, -1, -2)
+                self._accumulate(_unbroadcast(np.asarray(ga).reshape(a.shape), a.shape))
+            if other.requires_grad:
+                if a.ndim == 1:
+                    gb = np.outer(a, grad) if b.ndim == 2 else a * grad
+                else:
+                    gb = np.swapaxes(a, -1, -2) @ grad
+                other._accumulate(_unbroadcast(np.asarray(gb).reshape(b.shape), b.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------
+    # nonlinearities
+    # ------------------------------------------------------------------
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data ** 2))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = np.empty_like(self.data)
+        pos = self.data >= 0
+        out_data[pos] = 1.0 / (1.0 + np.exp(-self.data[pos]))
+        ex = np.exp(self.data[~pos])
+        out_data[~pos] = ex / (1.0 + ex)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    # ------------------------------------------------------------------
+    # reductions and shape ops
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                for ax in sorted(a % self.data.ndim for a in axes):
+                    g = np.expand_dims(g, ax)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self) -> "Tensor":
+        out_data = self.data.T
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad.T)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+
+        def backward(grad):
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, key, grad)
+                self._accumulate(full)
+
+        return Tensor._make(np.array(out_data, copy=True), (self,), backward)
+
+    def take_rows(self, indices) -> "Tensor":
+        """Gather rows (embedding lookup); gradient scatter-adds back."""
+        idx = np.asarray(indices, dtype=np.int64)
+        out_data = self.data[idx]
+
+        def backward(grad):
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, idx, grad)
+                self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # combination ops used by the tree models
+    # ------------------------------------------------------------------
+    @staticmethod
+    def concat(tensors: list["Tensor"], axis: int = -1) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad):
+            for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if t.requires_grad:
+                    slicer = [slice(None)] * grad.ndim
+                    slicer[axis] = slice(start, stop)
+                    t._accumulate(grad[tuple(slicer)])
+
+        return Tensor._make(out_data, tuple(tensors), backward)
+
+    @staticmethod
+    def stack(tensors: list["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        out_data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad):
+            pieces = np.moveaxis(grad, axis, 0)
+            for t, piece in zip(tensors, pieces):
+                if t.requires_grad:
+                    t._accumulate(piece)
+
+        return Tensor._make(out_data, tuple(tensors), backward)
+
+    @staticmethod
+    def add_n(tensors: list["Tensor"]) -> "Tensor":
+        """Sum a list of same-shaped tensors (child-sum aggregation)."""
+        tensors = [Tensor._coerce(t) for t in tensors]
+        if not tensors:
+            raise ValueError("add_n requires at least one tensor")
+        out_data = tensors[0].data.copy()
+        for t in tensors[1:]:
+            out_data += t.data
+
+        def backward(grad):
+            for t in tensors:
+                if t.requires_grad:
+                    t._accumulate(_unbroadcast(grad, t.shape))
+
+        return Tensor._make(out_data, tuple(tensors), backward)
+
+    # ------------------------------------------------------------------
+    # backward
+    # ------------------------------------------------------------------
+    def backward(self, grad=None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("called backward on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        else:
+            grad = _as_array(grad)
+
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited and parent.requires_grad:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)

@@ -1,0 +1,355 @@
+"""Child-sum tree-LSTM (equation 4) and the paper's three stackings.
+
+The paper proposes encoding an AST bottom-up with a child-sum tree-LSTM
+(Tai, Socher & Manning 2015): each node aggregates the hidden states of
+its children with per-child forget gates, so the root's hidden state
+summarizes the whole tree. Three multi-layer stackings are evaluated
+(Section IV-C / Table III):
+
+* **uni-directional** — every layer runs leaves-to-root;
+* **bi-directional** — each layer runs an upward and an independent
+  downward pass and concatenates them (the last layer only needs the
+  upward pass, since prediction uses the root);
+* **alternating** — layers alternate upward and downward passes, e.g.
+  a 3-layer stack is up/down/up; half the parameters of bi-directional.
+
+For speed, nodes are processed in *level batches*: all nodes whose
+children are already encoded advance together, with child aggregation
+expressed as a segment-sum over the (parent, child) edge list. This is
+mathematically identical to the per-node recursion and lets numpy do the
+heavy lifting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["TreeSchedule", "ChildSumTreeLSTM", "TreeLSTMStack", "DIRECTIONS"]
+
+DIRECTIONS = ("uni", "bi", "alternating")
+
+
+def _segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``x`` into ``num_segments`` buckets (autograd-aware)."""
+    out_data = np.zeros((num_segments,) + x.shape[1:])
+    np.add.at(out_data, segment_ids, x.data)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad[segment_ids])
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+class TreeSchedule:
+    """Precomputed evaluation order for one tree (or a forest).
+
+    Parameters
+    ----------
+    children:
+        ``children[j]`` lists the node indices of j's children. A node
+        may appear as a child of at most one parent.
+
+    Attributes
+    ----------
+    up_levels:
+        List of levels for the leaves-to-root pass. Each level is a tuple
+        ``(nodes, edge_child, edge_parent_pos)`` where ``nodes`` are the
+        node indices evaluated in this level, ``edge_child`` the global
+        child index per incoming edge, and ``edge_parent_pos`` the
+        position (within ``nodes``) of each edge's parent.
+    down_levels:
+        List of levels for the root-to-leaves pass; each is
+        ``(nodes, parents)`` with ``parents[i]`` the parent of
+        ``nodes[i]``. The first level holds the roots with parents == -1.
+    roots:
+        Indices of nodes with no parent.
+    """
+
+    def __init__(self, children: list[list[int]]):
+        n = len(children)
+        if n == 0:
+            raise ValueError("cannot schedule an empty tree")
+        parent = np.full(n, -1, dtype=np.int64)
+        for j, kids in enumerate(children):
+            for k in kids:
+                if not 0 <= k < n:
+                    raise ValueError(f"child index {k} out of range for {n} nodes")
+                if parent[k] != -1:
+                    raise ValueError(f"node {k} has two parents ({parent[k]} and {j})")
+                if k == j:
+                    raise ValueError(f"node {j} is its own child")
+                parent[k] = j
+        self.num_nodes = n
+        self.parent = parent
+        self.roots = np.flatnonzero(parent == -1)
+        if self.roots.size == 0:
+            raise ValueError("tree has a cycle: no root found")
+
+        # Height of each node: leaves are 0; a parent is 1 + max child height.
+        height = np.zeros(n, dtype=np.int64)
+        pending = np.array([len(kids) for kids in children])
+        frontier = [j for j in range(n) if pending[j] == 0]
+        seen = 0
+        while frontier:
+            nxt: list[int] = []
+            for j in frontier:
+                seen += 1
+                p = parent[j]
+                if p != -1:
+                    height[p] = max(height[p], height[j] + 1)
+                    pending[p] -= 1
+                    if pending[p] == 0:
+                        nxt.append(int(p))
+            frontier = nxt
+        if seen != n:
+            raise ValueError("tree has a cycle: topological sort incomplete")
+
+        self.up_levels = []
+        for lvl in range(int(height.max()) + 1):
+            nodes = np.flatnonzero(height == lvl)
+            pos_of = {int(node): i for i, node in enumerate(nodes)}
+            edge_child: list[int] = []
+            edge_parent_pos: list[int] = []
+            for i, node in enumerate(nodes):
+                for k in children[node]:
+                    edge_child.append(int(k))
+                    edge_parent_pos.append(i)
+            self.up_levels.append(
+                (nodes,
+                 np.asarray(edge_child, dtype=np.int64),
+                 np.asarray(edge_parent_pos, dtype=np.int64))
+            )
+
+        # Depth levels for the downward pass (root depth 0).
+        depth = np.zeros(n, dtype=np.int64)
+        order = [int(r) for r in self.roots]
+        head = 0
+        while head < len(order):
+            j = order[head]
+            head += 1
+            for k in children[j]:
+                depth[k] = depth[j] + 1
+                order.append(int(k))
+        self.down_levels = []
+        for lvl in range(int(depth.max()) + 1):
+            nodes = np.flatnonzero(depth == lvl)
+            self.down_levels.append((nodes, parent[nodes]))
+
+
+class ChildSumTreeLSTM(Module):
+    """One child-sum tree-LSTM pass (upward or downward).
+
+    Equation (4) of the paper: for node j with children C(j),
+
+    .. math::
+        \\tilde h_j = \\sum_{k \\in C(j)} h_k, \\quad
+        i_j = \\sigma(W_i x_j + U_i \\tilde h_j + b_i), \\quad
+        f_{jk} = \\sigma(W_f x_j + U_f h_k + b_f),
+
+        o_j, u_j \\text{ likewise}, \\quad
+        c_j = i_j \\odot u_j + \\sum_k f_{jk} \\odot c_k, \\quad
+        h_j = o_j \\odot \\tanh(c_j).
+
+    The downward direction runs the same recursion on reversed edges:
+    each node's single "child" is its parent, so information flows from
+    the root toward the leaves (used by the bi-directional and
+    alternating stacks).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # Fused [i, o, u] input/hidden projections; forget gate separate
+        # because it is applied per (parent, child) edge.
+        self.w_iou = Parameter(init.xavier_uniform((3 * hidden_size, input_size), rng))
+        self.u_iou = Parameter(init.xavier_uniform((3 * hidden_size, hidden_size), rng))
+        self.b_iou = Parameter(np.zeros(3 * hidden_size))
+        self.w_f = Parameter(init.xavier_uniform((hidden_size, input_size), rng))
+        self.u_f = Parameter(init.xavier_uniform((hidden_size, hidden_size), rng))
+        self.b_f = Parameter(np.ones(hidden_size))
+
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor, schedule: TreeSchedule,
+                direction: str = "up") -> tuple[Tensor, Tensor]:
+        """Encode every node; returns (h, c) of shape (n, hidden).
+
+        ``direction`` is ``"up"`` (leaves -> root) or ``"down"``
+        (root -> leaves).
+        """
+        if direction not in ("up", "down"):
+            raise ValueError(f"direction must be 'up' or 'down', got {direction!r}")
+        if x.shape[0] != schedule.num_nodes:
+            raise ValueError(
+                f"feature rows ({x.shape[0]}) != schedule nodes ({schedule.num_nodes})"
+            )
+        x_iou = x.matmul(self.w_iou.T) + self.b_iou  # (n, 3h)
+        x_f = x.matmul(self.w_f.T) + self.b_f        # (n, h)
+        if direction == "up":
+            return self._run_up(x_iou, x_f, schedule)
+        return self._run_down(x_iou, x_f, schedule)
+
+    # ------------------------------------------------------------------
+    def _level_step(self, x_iou_level: Tensor, h_tilde: Tensor, fc: Tensor):
+        hs = self.hidden_size
+        iou = x_iou_level + h_tilde.matmul(self.u_iou.T)
+        i = iou[:, 0 * hs:1 * hs].sigmoid()
+        o = iou[:, 1 * hs:2 * hs].sigmoid()
+        u = iou[:, 2 * hs:3 * hs].tanh()
+        c_level = i * u + fc
+        h_level = o * c_level.tanh()
+        return h_level, c_level
+
+    def _run_up(self, x_iou: Tensor, x_f: Tensor, schedule: TreeSchedule):
+        # Levels are processed as whole batches; previously computed
+        # states live in one growing (rows, hidden) tensor and children
+        # are fetched with a single gather, keeping the op count
+        # O(levels) rather than O(nodes).
+        hs = self.hidden_size
+        n = schedule.num_nodes
+        row_of = np.full(n, -1, dtype=np.int64)
+        h_all: Tensor | None = None
+        c_all: Tensor | None = None
+        rows = 0
+
+        for nodes, edge_child, edge_parent_pos in schedule.up_levels:
+            m = nodes.shape[0]
+            if edge_child.size:
+                child_rows = row_of[edge_child]
+                h_children = h_all.take_rows(child_rows)
+                c_children = c_all.take_rows(child_rows)
+                h_tilde = _segment_sum(h_children, edge_parent_pos, m)
+                # Per-edge forget gates f_jk applied to each child's cell.
+                f_edges = (x_f[nodes][edge_parent_pos]
+                           + h_children.matmul(self.u_f.T)).sigmoid()
+                fc = _segment_sum(f_edges * c_children, edge_parent_pos, m)
+            else:
+                h_tilde = Tensor(np.zeros((m, hs)))
+                fc = Tensor(np.zeros((m, hs)))
+
+            h_level, c_level = self._level_step(x_iou[nodes], h_tilde, fc)
+            if h_all is None:
+                h_all, c_all = h_level, c_level
+            else:
+                h_all = Tensor.concat([h_all, h_level], axis=0)
+                c_all = Tensor.concat([c_all, c_level], axis=0)
+            row_of[nodes] = np.arange(rows, rows + m)
+            rows += m
+
+        return h_all.take_rows(row_of), c_all.take_rows(row_of)
+
+    # ------------------------------------------------------------------
+    def _run_down(self, x_iou: Tensor, x_f: Tensor, schedule: TreeSchedule):
+        hs = self.hidden_size
+        n = schedule.num_nodes
+        row_of = np.full(n, -1, dtype=np.int64)
+        h_all: Tensor | None = None
+        c_all: Tensor | None = None
+        rows = 0
+
+        for nodes, parents in schedule.down_levels:
+            m = nodes.shape[0]
+            if (parents >= 0).all() and h_all is not None:
+                # In the downward pass every node has exactly one
+                # predecessor (its parent): child-sum reduces to a gather.
+                parent_rows = row_of[parents]
+                h_par = h_all.take_rows(parent_rows)
+                c_par = c_all.take_rows(parent_rows)
+                h_tilde = h_par
+                f = (x_f[nodes] + h_par.matmul(self.u_f.T)).sigmoid()
+                fc = f * c_par
+            else:
+                # Root level (or a forest level mixing roots): zero state.
+                h_tilde = Tensor(np.zeros((m, hs)))
+                fc = Tensor(np.zeros((m, hs)))
+
+            h_level, c_level = self._level_step(x_iou[nodes], h_tilde, fc)
+            if h_all is None:
+                h_all, c_all = h_level, c_level
+            else:
+                h_all = Tensor.concat([h_all, h_level], axis=0)
+                c_all = Tensor.concat([c_all, c_level], axis=0)
+            row_of[nodes] = np.arange(rows, rows + m)
+            rows += m
+
+        return h_all.take_rows(row_of), c_all.take_rows(row_of)
+
+
+class TreeLSTMStack(Module):
+    """Multi-layer tree-LSTM in the paper's three flavours.
+
+    The hidden states at the end of one layer become the next layer's
+    node representations (Section IV-C). ``encode`` returns the root's
+    final hidden state, which the classifier consumes.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 1,
+                 direction: str = "alternating",
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if direction not in DIRECTIONS:
+            raise ValueError(f"direction must be one of {DIRECTIONS}, got {direction!r}")
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = rng or np.random.default_rng(0)
+        self.direction = direction
+        self.num_layers = num_layers
+        self.hidden_size = hidden_size
+        self._layer_names: list[str] = []
+
+        in_dim = input_size
+        for layer in range(num_layers):
+            last = layer == num_layers - 1
+            if direction == "bi" and not last:
+                up = ChildSumTreeLSTM(in_dim, hidden_size, rng=rng)
+                down = ChildSumTreeLSTM(in_dim, hidden_size, rng=rng)
+                self.register_module(f"up{layer}", up)
+                self.register_module(f"down{layer}", down)
+                self._layer_names.append(f"bi:{layer}")
+                in_dim = 2 * hidden_size
+            else:
+                cell = ChildSumTreeLSTM(in_dim, hidden_size, rng=rng)
+                self.register_module(f"cell{layer}", cell)
+                self._layer_names.append(f"single:{layer}")
+                in_dim = hidden_size
+        self.output_size = hidden_size
+
+    def _layer_direction(self, layer: int) -> str:
+        if self.direction == "alternating":
+            return "up" if layer % 2 == 0 else "down"
+        return "up"
+
+    def forward(self, x: Tensor, schedule: TreeSchedule) -> Tensor:
+        """Return hidden states for all nodes, (n, hidden)."""
+        h = x
+        for layer, name in enumerate(self._layer_names):
+            kind, idx = name.split(":")
+            if kind == "bi":
+                up = self._modules[f"up{idx}"]
+                down = self._modules[f"down{idx}"]
+                h_up, _ = up(h, schedule, direction="up")
+                h_down, _ = down(h, schedule, direction="down")
+                h = Tensor.concat([h_up, h_down], axis=1)
+            else:
+                cell = self._modules[f"cell{idx}"]
+                h, _ = cell(h, schedule, direction=self._layer_direction(layer))
+        return h
+
+    def encode(self, x: Tensor, schedule: TreeSchedule) -> Tensor:
+        """Return the root representation (d,) used for prediction.
+
+        With an alternating stack ending on a downward layer the root's
+        state would only reflect the path above it, so the prediction
+        always reads the root from the *last upward* output; the shipped
+        configurations (1–3 layers) all end upward anyway.
+        """
+        h = self.forward(x, schedule)
+        root = int(schedule.roots[0])
+        return h[root]

@@ -1,0 +1,7 @@
+"""Hyper-parameter optimization (Optuna stand-in, paper Section V-C)."""
+
+from .samplers import RandomSampler, TpeLiteSampler
+from .search import FrozenTrial, Study, Trial, TrialPruned
+
+__all__ = ["Study", "Trial", "FrozenTrial", "TrialPruned",
+           "RandomSampler", "TpeLiteSampler"]

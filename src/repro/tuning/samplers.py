@@ -1,0 +1,81 @@
+"""Samplers for hyper-parameter search.
+
+``RandomSampler`` draws uniformly from each space. ``TpeLiteSampler``
+is a lightweight Tree-structured-Parzen-Estimator-flavoured sampler:
+after a warm-up it splits observed trials into good/bad halves by
+objective and samples near the good half's parameter values — the same
+exploitation idea Optuna's TPE uses, sized for our small search spaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RandomSampler", "TpeLiteSampler"]
+
+
+class RandomSampler:
+    def __init__(self, seed: int = 0):
+        self.rng = np.random.default_rng(seed)
+
+    def suggest_int(self, low: int, high: int, history) -> int:
+        return int(self.rng.integers(low, high + 1))
+
+    def suggest_float(self, low: float, high: float, history,
+                      log: bool = False) -> float:
+        if log:
+            return float(np.exp(self.rng.uniform(np.log(low), np.log(high))))
+        return float(self.rng.uniform(low, high))
+
+    def suggest_categorical(self, choices, history):
+        return choices[int(self.rng.integers(0, len(choices)))]
+
+
+class TpeLiteSampler(RandomSampler):
+    """Exploit good regions after ``warmup`` random trials."""
+
+    def __init__(self, seed: int = 0, warmup: int = 5, gamma: float = 0.5):
+        super().__init__(seed)
+        if not 0.0 < gamma < 1.0:
+            raise ValueError("gamma must be in (0, 1)")
+        self.warmup = warmup
+        self.gamma = gamma
+
+    def _good_values(self, history):
+        """Parameter values from the top-gamma fraction of trials."""
+        completed = [(value, params) for value, params in history
+                     if value is not None]
+        if len(completed) < self.warmup:
+            return None
+        completed.sort(key=lambda item: item[0], reverse=True)
+        keep = max(1, int(len(completed) * self.gamma))
+        return [params for _, params in completed[:keep]]
+
+    def suggest_int(self, low: int, high: int, history) -> int:
+        good = self._good_values(history)
+        if good is None or self.rng.random() < 0.3:
+            return super().suggest_int(low, high, history)
+        anchor = float(self.rng.choice([p for p in good]))
+        spread = max(1.0, (high - low) * 0.2)
+        value = int(round(self.rng.normal(anchor, spread)))
+        return int(np.clip(value, low, high))
+
+    def suggest_float(self, low: float, high: float, history,
+                      log: bool = False) -> float:
+        good = self._good_values(history)
+        if good is None or self.rng.random() < 0.3:
+            return super().suggest_float(low, high, history, log=log)
+        anchor = float(self.rng.choice([p for p in good]))
+        if log:
+            sigma = (np.log(high) - np.log(low)) * 0.2
+            value = float(np.exp(self.rng.normal(np.log(anchor), sigma)))
+        else:
+            value = float(self.rng.normal(anchor, (high - low) * 0.2))
+        return float(np.clip(value, low, high))
+
+    def suggest_categorical(self, choices, history):
+        good = self._good_values(history)
+        if good is None or self.rng.random() < 0.3:
+            return super().suggest_categorical(choices, history)
+        return self.rng.choice(good) if good else \
+            super().suggest_categorical(choices, history)

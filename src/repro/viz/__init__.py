@@ -1,0 +1,15 @@
+"""Visualization: t-SNE projections (Fig. 7) and terminal figure rendering."""
+
+from .ascii_plot import box_summary, line_plot, scatter_plot, table
+from .projection import (
+    NodeEmbeddingAtlas, code_embedding_map, kind_category,
+    node_embedding_atlas,
+)
+from .tsne import tsne
+
+__all__ = [
+    "tsne",
+    "NodeEmbeddingAtlas", "node_embedding_atlas", "code_embedding_map",
+    "kind_category",
+    "line_plot", "scatter_plot", "box_summary", "table",
+]

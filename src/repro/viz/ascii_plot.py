@@ -1,0 +1,94 @@
+"""Terminal rendering of the paper's figures (line, scatter, box, ROC).
+
+The benchmark harness is headless, so every figure is regenerated as an
+ASCII panel: good enough to eyeball the *shape* the paper reports, and
+diffable in CI logs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["line_plot", "scatter_plot", "box_summary", "table"]
+
+
+def _scale(values: np.ndarray, size: int) -> np.ndarray:
+    lo, hi = float(np.min(values)), float(np.max(values))
+    if hi - lo < 1e-12:
+        return np.full(values.shape, size // 2, dtype=int)
+    return np.clip(((values - lo) / (hi - lo) * (size - 1)).round().astype(int),
+                   0, size - 1)
+
+
+def line_plot(xs, ys, width: int = 60, height: int = 14,
+              title: str = "", x_label: str = "", y_label: str = "") -> str:
+    """Single-series line plot with axis ranges in the footer."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.size != ys.size or xs.size == 0:
+        raise ValueError("xs and ys must be equal-length and non-empty")
+    grid = [[" "] * width for _ in range(height)]
+    col = _scale(xs, width)
+    row = _scale(ys, height)
+    for c, r in zip(col, row):
+        grid[height - 1 - r][c] = "*"
+    # connect consecutive points coarsely
+    for k in range(len(col) - 1):
+        c0, c1 = sorted((col[k], col[k + 1]))
+        r_interp = np.linspace(row[k], row[k + 1], max(2, c1 - c0 + 1))
+        for c, r in zip(range(c0, c1 + 1), r_interp.round().astype(int)):
+            if grid[height - 1 - r][c] == " ":
+                grid[height - 1 - r][c] = "."
+    lines = [title] if title else []
+    lines += ["|" + "".join(r) for r in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_label} [{xs.min():g}, {xs.max():g}]   "
+                 f"y: {y_label} [{ys.min():.3f}, {ys.max():.3f}]")
+    return "\n".join(lines)
+
+
+def scatter_plot(points, labels, width: int = 64, height: int = 20,
+                 title: str = "") -> str:
+    """2-D scatter with one glyph per label group (Fig. 7 rendering)."""
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must be (n, 2)")
+    glyphs = "ox+#@%&*=~"
+    unique = sorted(set(labels))
+    glyph_of = {lab: glyphs[i % len(glyphs)] for i, lab in enumerate(unique)}
+    grid = [[" "] * width for _ in range(height)]
+    cols = _scale(points[:, 0], width)
+    rows = _scale(points[:, 1], height)
+    for (c, r, lab) in zip(cols, rows, labels):
+        grid[height - 1 - r][c] = glyph_of[lab]
+    lines = [title] if title else []
+    lines += ["|" + "".join(r) for r in grid]
+    lines.append("+" + "-" * width)
+    lines.append("legend: " + "  ".join(f"{glyph_of[u]}={u}" for u in unique))
+    return "\n".join(lines)
+
+
+def box_summary(groups: dict[str, list[float]]) -> str:
+    """Five-number summaries standing in for the paper's boxplots."""
+    lines = [f"{'group':>8} {'min':>7} {'q1':>7} {'median':>7} {'q3':>7} "
+             f"{'max':>7} {'n':>4}"]
+    for name in sorted(groups):
+        values = np.asarray(groups[name], dtype=float)
+        if values.size == 0:
+            continue
+        q1, med, q3 = np.percentile(values, [25, 50, 75])
+        lines.append(f"{name:>8} {values.min():7.3f} {q1:7.3f} {med:7.3f} "
+                     f"{q3:7.3f} {values.max():7.3f} {values.size:4d}")
+    return "\n".join(lines)
+
+
+def table(headers: list[str], rows: list[list]) -> str:
+    """Monospace table used for Table I/II/III outputs."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

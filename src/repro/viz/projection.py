@@ -1,0 +1,87 @@
+"""Embedding extraction for Fig. 7.
+
+Fig. 7(a) projects the *node-type* embedding table (one λ-dim vector
+per AST node kind, coloured by syntactic category); Fig. 7(b) projects
+*code* embeddings of submissions from several problems (coloured by
+problem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.model import ComparativeModel
+from ..corpus.problem import Submission
+from ..lang.cpp_ast import (
+    ASSIGN_OP_NAMES, BINARY_OP_NAMES, POSTFIX_OP_NAMES, UNARY_OP_NAMES,
+)
+from .tsne import tsne
+
+__all__ = ["NodeEmbeddingAtlas", "node_embedding_atlas", "code_embedding_map"]
+
+_LITERAL_KINDS = {"lit_int", "lit_float", "lit_char", "lit_string", "lit_bool"}
+_STATEMENT_KINDS = {
+    "block", "var_decl", "expr_stmt", "if_stmt", "for_stmt", "while_stmt",
+    "do_while_stmt", "return_stmt", "break_stmt", "continue_stmt",
+    "io_read", "io_write",
+}
+_EXPRESSION_KINDS = {"ternary", "call", "construct", "index", "member", "ident"}
+
+
+def kind_category(kind: str) -> str:
+    """The Fig.-7(a) colour group for a node kind."""
+    op_names = set(BINARY_OP_NAMES.values()) | set(ASSIGN_OP_NAMES.values()) \
+        | set(UNARY_OP_NAMES.values()) | set(POSTFIX_OP_NAMES.values())
+    if kind.startswith("op_") and kind[3:] in op_names:
+        return "operation"
+    if kind in _LITERAL_KINDS:
+        return "literal"
+    if kind in _STATEMENT_KINDS:
+        return "statement"
+    if kind in _EXPRESSION_KINDS or kind.startswith("method_"):
+        return "expression"
+    return "support"
+
+
+@dataclass
+class NodeEmbeddingAtlas:
+    kinds: list[str]
+    categories: list[str]
+    points: np.ndarray          # (n, 2)
+
+
+def node_embedding_atlas(model: ComparativeModel, perplexity: float = 12.0,
+                         n_iter: int = 300, seed: int = 0) -> NodeEmbeddingAtlas:
+    """Project the learned node-embedding table to 2-D (Fig. 7a)."""
+    vocab = model.featurizer.vocab
+    table = model.encoder.embedding.weight.data
+    kinds = [vocab.decode(i) for i in range(len(vocab))]
+    points = tsne(table, perplexity=perplexity, n_iter=n_iter, seed=seed)
+    return NodeEmbeddingAtlas(
+        kinds=kinds,
+        categories=[kind_category(k) for k in kinds],
+        points=points,
+    )
+
+
+def code_embedding_map(model: ComparativeModel,
+                       groups: dict[str, list[Submission]],
+                       perplexity: float = 15.0, n_iter: int = 300,
+                       seed: int = 0) -> tuple[np.ndarray, list[str]]:
+    """Project code embeddings of several problems to 2-D (Fig. 7b).
+
+    Returns (points, group_labels), one row per submission.
+    """
+    vectors = []
+    labels = []
+    for tag, submissions in groups.items():
+        for sub in submissions:
+            vectors.append(model.embed(sub.source))
+            labels.append(tag)
+    if len(vectors) < 3:
+        raise ValueError("need at least 3 submissions across groups")
+    points = tsne(np.stack(vectors), perplexity=perplexity, n_iter=n_iter,
+                  seed=seed)
+    return points, labels

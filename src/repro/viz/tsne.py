@@ -1,0 +1,102 @@
+"""Exact t-SNE (van der Maaten & Hinton 2008) on numpy.
+
+Used for Fig. 7: projecting the learned λ-dimensional node and code
+embeddings to 2-D. Implements the standard pipeline — pairwise
+affinities with per-point perplexity calibration (binary search over
+bandwidths), symmetrization, early exaggeration, and gradient descent
+with momentum on the Student-t low-dimensional affinities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["tsne"]
+
+
+def _pairwise_sq_dists(x: np.ndarray) -> np.ndarray:
+    norms = (x ** 2).sum(axis=1)
+    d2 = norms[:, None] + norms[None, :] - 2.0 * (x @ x.T)
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def _calibrate_p(d2: np.ndarray, perplexity: float,
+                 tol: float = 1e-4, max_iter: int = 50) -> np.ndarray:
+    """Per-row bandwidths so each conditional distribution has the
+    requested perplexity."""
+    n = d2.shape[0]
+    target_entropy = np.log(perplexity)
+    p = np.zeros((n, n))
+    for i in range(n):
+        beta_lo, beta_hi = 0.0, np.inf
+        beta = 1.0
+        row = d2[i].copy()
+        row[i] = np.inf
+        for _ in range(max_iter):
+            exps = np.exp(-row * beta)
+            total = exps.sum()
+            if total <= 0:
+                beta /= 2.0
+                continue
+            probs = exps / total
+            nonzero = probs > 0
+            entropy = -np.sum(probs[nonzero] * np.log(probs[nonzero]))
+            diff = entropy - target_entropy
+            if abs(diff) < tol:
+                break
+            if diff > 0:
+                beta_lo = beta
+                beta = beta * 2.0 if beta_hi == np.inf else (beta + beta_hi) / 2.0
+            else:
+                beta_hi = beta
+                beta = beta / 2.0 if beta_lo == 0.0 else (beta + beta_lo) / 2.0
+        p[i] = probs
+    return p
+
+
+def tsne(x: np.ndarray, n_components: int = 2, perplexity: float = 20.0,
+         n_iter: int = 400, learning_rate: float = 100.0,
+         seed: int = 0, early_exaggeration: float = 4.0) -> np.ndarray:
+    """Project ``x`` (n, d) to (n, n_components)."""
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[0]
+    if n < 3:
+        raise ValueError("t-SNE needs at least 3 points")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+    if n_iter < 50:
+        raise ValueError("n_iter too small to converge")
+
+    cond = _calibrate_p(_pairwise_sq_dists(x), perplexity)
+    p = (cond + cond.T) / (2.0 * n)
+    np.fill_diagonal(p, 0.0)
+    p = np.maximum(p / max(p.sum(), 1e-12), 1e-12)
+
+    rng = np.random.default_rng(seed)
+    # PCA initialization stabilizes layouts across runs.
+    centered = x - x.mean(axis=0)
+    if min(centered.shape) >= n_components:
+        _, _, vt = np.linalg.svd(centered, full_matrices=False)
+        y = centered @ vt[:n_components].T
+        scale = np.abs(y).max()
+        y = y / (scale if scale > 0 else 1.0) * 1e-2
+    else:
+        y = rng.normal(0.0, 1e-2, size=(n, n_components))
+    y = y + rng.normal(0.0, 1e-4, size=y.shape)
+
+    velocity = np.zeros_like(y)
+    exaggeration_until = min(100, n_iter // 4)
+
+    for iteration in range(n_iter):
+        pij = p * early_exaggeration if iteration < exaggeration_until else p
+        d2 = _pairwise_sq_dists(y)
+        inv = 1.0 / (1.0 + d2)
+        np.fill_diagonal(inv, 0.0)
+        q = np.maximum(inv / max(inv.sum(), 1e-12), 1e-12)
+        coeff = (pij - q) * inv
+        grad = 4.0 * ((np.diag(coeff.sum(axis=1)) - coeff) @ y)
+        momentum = 0.5 if iteration < exaggeration_until else 0.8
+        velocity = momentum * velocity - learning_rate * grad
+        y = y + velocity
+        y = y - y.mean(axis=0)
+    return y

@@ -1,0 +1,30 @@
+"""Shared fixtures: small judged corpora built once per test session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Collector, family_for_tag
+from repro.judge import MachineProfile
+
+
+@pytest.fixture(scope="session")
+def collector() -> Collector:
+    return Collector(machine=MachineProfile(cycles_per_ms=2000.0, seed=11),
+                     seed=101)
+
+
+@pytest.fixture(scope="session")
+def corpus_c(collector):
+    """24 accepted submissions to problem C (greedy; clear fast/slow split)."""
+    family = family_for_tag("C", scale=0.4, num_tests=3)
+    db = collector.collect([family], per_problem=24)
+    return db.submissions("C")
+
+
+@pytest.fixture(scope="session")
+def corpus_e(collector):
+    """16 accepted submissions to problem E (small runtimes)."""
+    family = family_for_tag("E", scale=0.5, num_tests=3)
+    db = collector.collect([family], per_problem=16)
+    return db.submissions("E")

@@ -1,0 +1,90 @@
+"""Tests for the non-learned comparative baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AbsoluteRuntimeRegressor, LoopNestingHeuristic, NodeCountHeuristic,
+    WeightedConstructHeuristic, baseline_accuracy,
+)
+from repro.data import sample_pairs
+
+FLAT = "int main() { int x; cin >> x; cout << x + 1; return 0; }"
+ONE_LOOP = """
+int main() { int n; cin >> n; long long s = 0;
+    for (int i = 0; i < n; i++) s += i;
+    cout << s; return 0; }
+"""
+NESTED = """
+int main() { int n; cin >> n; long long s = 0;
+    for (int i = 0; i < n; i++)
+        for (int j = 0; j < n; j++) s += j;
+    cout << s; return 0; }
+"""
+
+
+class TestHeuristics:
+    def test_node_count_orders_by_size(self):
+        heuristic = NodeCountHeuristic()
+        assert heuristic.score(NESTED) > heuristic.score(FLAT)
+
+    def test_loop_nesting_scores(self):
+        heuristic = LoopNestingHeuristic()
+        assert heuristic.score(FLAT) == pytest.approx(0.0)
+        assert 1.0 <= heuristic.score(ONE_LOOP) < 2.0
+        assert heuristic.score(NESTED) >= 2.0
+
+    def test_weighted_constructs(self):
+        heuristic = WeightedConstructHeuristic()
+        assert heuristic.score(NESTED) > heuristic.score(ONE_LOOP) > \
+            heuristic.score(FLAT)
+
+    def test_probability_contract(self):
+        for heuristic in (NodeCountHeuristic(), LoopNestingHeuristic(),
+                          WeightedConstructHeuristic()):
+            p = heuristic.predict_probability(NESTED, FLAT)
+            assert 0.5 < p <= 1.0       # nested should look slower
+            p_rev = heuristic.predict_probability(FLAT, NESTED)
+            assert p_rev == pytest.approx(1.0 - p, abs=1e-9)
+
+    def test_predict_label(self):
+        heuristic = LoopNestingHeuristic()
+        assert heuristic.predict_label(NESTED, FLAT) == 1
+        assert heuristic.predict_label(FLAT, NESTED) == 0
+
+
+class TestAbsoluteRegressor:
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            AbsoluteRuntimeRegressor().predict_runtime_ms(FLAT)
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            AbsoluteRuntimeRegressor().fit([])
+        with pytest.raises(ValueError):
+            AbsoluteRuntimeRegressor(ridge=-1.0)
+
+    def test_learns_runtime_ordering(self, corpus_c):
+        regressor = AbsoluteRuntimeRegressor().fit(corpus_c)
+        fast = min(corpus_c, key=lambda s: s.mean_runtime_ms)
+        slow = max(corpus_c, key=lambda s: s.mean_runtime_ms)
+        assert regressor.predict_runtime_ms(slow.source) > \
+            regressor.predict_runtime_ms(fast.source)
+
+    def test_pairwise_accuracy_beats_chance_in_domain(self, corpus_c):
+        rng = np.random.default_rng(0)
+        regressor = AbsoluteRuntimeRegressor().fit(corpus_c)
+        pairs = sample_pairs(corpus_c, 60, rng)
+        assert baseline_accuracy(regressor, pairs) > 0.6
+
+
+class TestBaselineAccuracy:
+    def test_on_corpus(self, corpus_c):
+        rng = np.random.default_rng(1)
+        pairs = sample_pairs(corpus_c, 60, rng)
+        acc = baseline_accuracy(LoopNestingHeuristic(), pairs)
+        assert 0.0 <= acc <= 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            baseline_accuracy(NodeCountHeuristic(), [])

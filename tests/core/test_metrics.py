@@ -1,0 +1,63 @@
+"""Tests for accuracy / confusion / ROC / AUC."""
+
+import numpy as np
+import pytest
+
+from repro.core import accuracy, auc, confusion, roc_curve
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([0, 1, 1], [0.1, 0.9, 0.8]) == 1.0
+
+    def test_worst(self):
+        assert accuracy([0, 1], [0.9, 0.1]) == 0.0
+
+    def test_threshold_effect(self):
+        labels = [1, 0]
+        probs = [0.6, 0.55]
+        assert accuracy(labels, probs, threshold=0.5) == 0.5
+        assert accuracy(labels, probs, threshold=0.58) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+        with pytest.raises(ValueError):
+            accuracy([1, 0], [0.5])
+
+
+class TestConfusion:
+    def test_counts(self):
+        result = confusion([1, 1, 0, 0], [0.9, 0.2, 0.8, 0.1])
+        assert result == {"tp": 1, "fn": 1, "fp": 1, "tn": 1}
+
+
+class TestRoc:
+    def test_perfect_separation_auc_one(self):
+        labels = [0, 0, 1, 1]
+        probs = [0.1, 0.2, 0.8, 0.9]
+        assert auc(labels, probs) == pytest.approx(1.0)
+
+    def test_inverted_auc_zero(self):
+        labels = [1, 1, 0, 0]
+        probs = [0.1, 0.2, 0.8, 0.9]
+        assert auc(labels, probs) == pytest.approx(0.0)
+
+    def test_random_auc_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=2000)
+        probs = rng.random(2000)
+        assert 0.45 < auc(labels, probs) < 0.55
+
+    def test_curve_monotone(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, size=100)
+        probs = rng.random(100)
+        curve = roc_curve(labels, probs)
+        assert np.all(np.diff(curve.fpr) >= 0)
+        assert np.all(np.diff(curve.tpr) >= 0)
+        assert curve.tpr[0] == 0.0 and curve.tpr[-1] == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            roc_curve([], [])

@@ -1,0 +1,125 @@
+"""Tests for encoders, classifier, and the assembled ComparativeModel."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ComparativeModel, GcnEncoder, PairClassifier, TreeFeaturizer,
+    TreeLstmEncoder, build_model,
+)
+
+FAST = "int main() { int n; cin >> n; cout << n * (n + 1) / 2; return 0; }"
+SLOW = """
+int main() {
+    int n; cin >> n;
+    long long s = 0;
+    for (int i = 1; i <= n; i++)
+        for (int j = 1; j <= i; j++)
+            if (j == i) s += i;
+    cout << s;
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def featurizer():
+    return TreeFeaturizer()
+
+
+class TestEncoders:
+    def test_treelstm_output_shape(self, featurizer):
+        enc = TreeLstmEncoder(len(featurizer.vocab), embedding_dim=8,
+                              hidden_size=12)
+        z = enc(featurizer(FAST))
+        assert z.shape == (12,)
+
+    def test_gcn_output_shape(self, featurizer):
+        enc = GcnEncoder(len(featurizer.vocab), embedding_dim=8,
+                         hidden_size=10, num_layers=2)
+        z = enc(featurizer(FAST))
+        assert z.shape == (10,)
+
+    def test_different_trees_different_vectors(self, featurizer):
+        enc = TreeLstmEncoder(len(featurizer.vocab), embedding_dim=8,
+                              hidden_size=8)
+        z1 = enc(featurizer(FAST)).data
+        z2 = enc(featurizer(SLOW)).data
+        assert not np.allclose(z1, z2)
+
+    def test_node_states_cover_all_nodes(self, featurizer):
+        enc = TreeLstmEncoder(len(featurizer.vocab), embedding_dim=8,
+                              hidden_size=8)
+        feats = featurizer(FAST)
+        states = enc.node_states(feats)
+        assert states.shape == (feats.num_nodes, 8)
+
+
+class TestClassifier:
+    def test_logit_scalar(self):
+        from repro.nn import Tensor
+
+        clf = PairClassifier(latent_size=6)
+        logit = clf.logit(Tensor(np.ones(6)), Tensor(np.zeros(6)))
+        assert logit.shape == ()
+        prob = clf.probability(Tensor(np.ones(6)), Tensor(np.zeros(6)))
+        assert 0.0 < float(prob.data) < 1.0
+
+    def test_hidden_layer_variant(self):
+        from repro.nn import Tensor
+
+        clf = PairClassifier(latent_size=4, hidden=8)
+        logit = clf.logit(Tensor(np.ones(4)), Tensor(np.ones(4)))
+        assert logit.shape == ()
+
+    def test_order_sensitivity(self):
+        """The classifier must distinguish (i, j) from (j, i)."""
+        from repro.nn import Tensor
+
+        rng = np.random.default_rng(0)
+        clf = PairClassifier(latent_size=5, rng=rng)
+        a, b = Tensor(rng.normal(size=5)), Tensor(rng.normal(size=5))
+        assert float(clf.logit(a, b).data) != pytest.approx(
+            float(clf.logit(b, a).data))
+
+
+class TestComparativeModel:
+    def test_build_model_variants(self):
+        for kind in ("treelstm", "gcn"):
+            model = build_model(encoder_kind=kind, embedding_dim=8,
+                                hidden_size=8)
+            assert isinstance(model, ComparativeModel)
+            prob = model.predict_probability(FAST, SLOW)
+            assert 0.0 < prob < 1.0
+
+    def test_build_model_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            build_model(encoder_kind="transformer")
+
+    def test_predict_label_threshold(self):
+        model = build_model(embedding_dim=8, hidden_size=8)
+        prob = model.predict_probability(FAST, SLOW)
+        assert model.predict_label(FAST, SLOW, threshold=prob - 0.01) == 1
+        assert model.predict_label(FAST, SLOW, threshold=prob + 0.01) == 0
+
+    def test_embed_returns_vector(self):
+        model = build_model(embedding_dim=8, hidden_size=8)
+        vec = model.embed(FAST)
+        assert vec.shape == (8,)
+
+    def test_probability_complementary_when_swapped_after_training(self):
+        # Untrained models need not satisfy this; just check both orders
+        # produce valid probabilities.
+        model = build_model(embedding_dim=8, hidden_size=8)
+        p_ab = model.predict_probability(FAST, SLOW)
+        p_ba = model.predict_probability(SLOW, FAST)
+        assert 0.0 < p_ab < 1.0 and 0.0 < p_ba < 1.0
+
+    def test_state_dict_roundtrip(self):
+        model = build_model(embedding_dim=8, hidden_size=8, seed=1)
+        clone = build_model(embedding_dim=8, hidden_size=8, seed=2)
+        assert clone.predict_probability(FAST, SLOW) != pytest.approx(
+            model.predict_probability(FAST, SLOW))
+        clone.load_state_dict(model.state_dict())
+        assert clone.predict_probability(FAST, SLOW) == pytest.approx(
+            model.predict_probability(FAST, SLOW))

@@ -1,0 +1,92 @@
+"""Collector and submission-database tests."""
+
+import pytest
+
+from repro.corpus import (
+    CollectionReport, Collector, SubmissionDatabase, Submission,
+    family_for_tag,
+)
+from repro.judge import MachineProfile
+
+
+def make_submission(tag="C", sid=1, runtime=10.0):
+    return Submission(problem_tag=tag, submission_id=sid,
+                      source="int main() { return 0; }",
+                      mean_runtime_ms=runtime, max_runtime_ms=int(runtime),
+                      memory_kb=64)
+
+
+class TestDatabase:
+    def test_add_and_query(self):
+        db = SubmissionDatabase()
+        db.add(make_submission())
+        db.add(make_submission(sid=2, runtime=20.0))
+        assert len(db) == 2
+        assert db.problems() == ["C"]
+        assert len(db.submissions("C")) == 2
+
+    def test_missing_problem(self):
+        with pytest.raises(KeyError):
+            SubmissionDatabase().submissions("nope")
+
+    def test_stats(self):
+        db = SubmissionDatabase()
+        for sid, rt in enumerate([5.0, 10.0, 15.0, 100.0]):
+            db.add(make_submission(sid=sid, runtime=rt))
+        stats = db.stats("C")
+        assert stats.count == 4
+        assert stats.min_ms == 5.0
+        assert stats.max_ms == 100.0
+        assert stats.median_ms == 12.5
+        assert stats.stddev_ms > 0
+
+    def test_save_load_roundtrip(self, tmp_path):
+        db = SubmissionDatabase()
+        db.add(make_submission(tag="A", sid=1, runtime=7.5))
+        db.add(make_submission(tag="B", sid=2, runtime=9.0))
+        path = tmp_path / "corpus.jsonl"
+        db.save(path)
+        loaded = SubmissionDatabase.load(path)
+        assert len(loaded) == 2
+        assert loaded.problems() == ["A", "B"]
+        assert loaded.submissions("A")[0].mean_runtime_ms == 7.5
+
+    def test_contains(self):
+        db = SubmissionDatabase()
+        db.add(make_submission())
+        assert "C" in db
+        assert "Z" not in db
+
+
+class TestCollector:
+    def test_collects_requested_count(self, corpus_c):
+        assert len(corpus_c) == 24
+        assert all(s.problem_tag == "C" for s in corpus_c)
+
+    def test_submission_ids_unique(self, corpus_c):
+        ids = [s.submission_id for s in corpus_c]
+        assert len(set(ids)) == len(ids)
+
+    def test_runtimes_positive_and_varied(self, corpus_c):
+        runtimes = [s.mean_runtime_ms for s in corpus_c]
+        assert min(runtimes) >= 1.0
+        assert max(runtimes) > 2 * min(runtimes)  # algorithmic spread
+
+    def test_sources_parse(self, corpus_c):
+        from repro.lang import parse
+
+        for sub in corpus_c:
+            parse(sub.source)
+
+    def test_report_tracks_verdicts(self):
+        family = family_for_tag("E", scale=0.3, num_tests=2)
+        report = CollectionReport()
+        collector = Collector(machine=MachineProfile(cycles_per_ms=2000.0),
+                              seed=7)
+        collector.collect([family], per_problem=3, report=report)
+        assert report.accepted == 3
+        assert report.verdict_counts.get("OK") == 3
+
+    def test_per_problem_validation(self):
+        with pytest.raises(ValueError):
+            Collector().collect([], per_problem=0)

@@ -1,0 +1,58 @@
+"""Cross-cutting corpus properties that the learning task relies on."""
+
+import numpy as np
+
+from repro.lang import parse, simplify, structural_similarity
+
+
+class TestLearnableSignal:
+    def test_memory_recorded(self, corpus_c):
+        assert all(s.memory_kb >= 64 for s in corpus_c)
+
+    def test_variant_metadata_present(self, corpus_c):
+        variants = {s.variant for s in corpus_c}
+        assert len(variants) >= 2, "corpus collapsed to one algorithm"
+
+    def test_same_variant_similar_runtimes(self, corpus_c):
+        """Within one algorithm variant runtimes cluster; across the
+        fast/slow split they separate — the signal the model learns."""
+        by_variant: dict[str, list[float]] = {}
+        for sub in corpus_c:
+            by_variant.setdefault(sub.variant, []).append(sub.mean_runtime_ms)
+        means = {v: float(np.mean(r)) for v, r in by_variant.items()
+                 if len(r) >= 3}
+        if len(means) >= 2:
+            spread_between = max(means.values()) / min(means.values())
+            assert spread_between > 1.5
+
+    def test_structure_correlates_with_runtime_gap(self, corpus_c):
+        """Pairs from *different* variants should be structurally farther
+        apart than same-variant pairs on average (δCode ↔ δPerf premise).
+
+        Uses normalized tree similarity; averaged over a sample.
+        """
+        rng = np.random.default_rng(0)
+        by_variant: dict[str, list] = {}
+        for sub in corpus_c:
+            by_variant.setdefault(sub.variant, []).append(sub)
+        variants = [v for v, subs in by_variant.items() if len(subs) >= 2]
+        if len(variants) < 2:
+            return  # sample too small to measure; other seeds cover it
+        same_scores = []
+        cross_scores = []
+        for _ in range(6):
+            v = variants[int(rng.integers(len(variants)))]
+            a, b = rng.choice(len(by_variant[v]), size=2, replace=False)
+            same_scores.append(structural_similarity(
+                simplify(parse(by_variant[v][int(a)].source)),
+                simplify(parse(by_variant[v][int(b)].source))))
+            v1, v2 = rng.choice(len(variants), size=2, replace=False)
+            s1 = by_variant[variants[int(v1)]][0]
+            s2 = by_variant[variants[int(v2)]][0]
+            cross_scores.append(structural_similarity(
+                simplify(parse(s1.source)), simplify(parse(s2.source))))
+        assert float(np.mean(same_scores)) > float(np.mean(cross_scores))
+
+    def test_sources_unique(self, corpus_c):
+        sources = {s.source for s in corpus_c}
+        assert len(sources) > len(corpus_c) * 0.8

@@ -1,0 +1,113 @@
+"""Tests for pair generation and labeling (eq. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import Submission
+from repro.data import (
+    add_reversed, all_pairs, label_for, sample_pairs,
+)
+from repro.data.pairs import _unflatten_unordered
+
+
+def sub(sid: int, runtime: float) -> Submission:
+    return Submission(problem_tag="T", submission_id=sid,
+                      source=f"int main() {{ return {sid}; }}",
+                      mean_runtime_ms=runtime, max_runtime_ms=int(runtime),
+                      memory_kb=64)
+
+
+class TestLabeling:
+    def test_first_slower_is_positive(self):
+        assert label_for(sub(1, 100.0), sub(2, 10.0)) == 1
+
+    def test_first_faster_is_negative(self):
+        assert label_for(sub(1, 10.0), sub(2, 100.0)) == 0
+
+    def test_tie_is_positive(self):
+        """eq. 1: t_i >= t_j -> 1 ('faster or equivalent')."""
+        assert label_for(sub(1, 50.0), sub(2, 50.0)) == 1
+
+    def test_reversed_flips_label(self):
+        pairs = all_pairs([sub(1, 10.0), sub(2, 20.0)])
+        for pair in pairs:
+            if pair.gap_ms > 0:
+                assert pair.reversed().label == 1 - pair.label
+
+    def test_gap_recorded(self):
+        pairs = all_pairs([sub(1, 10.0), sub(2, 35.0)])
+        assert all(p.gap_ms == 25.0 for p in pairs)
+
+
+class TestAllPairs:
+    def test_count_excludes_diagonal(self):
+        subs = [sub(i, float(i)) for i in range(5)]
+        assert len(all_pairs(subs)) == 5 * 4
+
+    def test_include_self(self):
+        subs = [sub(i, float(i)) for i in range(3)]
+        pairs = all_pairs(subs, include_self=True)
+        assert len(pairs) == 9
+        diagonal = [p for p in pairs if p.first is p.second]
+        assert all(p.label == 1 for p in diagonal)
+
+
+class TestSamplePairs:
+    def test_exact_count(self):
+        subs = [sub(i, float(i + 1)) for i in range(10)]
+        rng = np.random.default_rng(0)
+        assert len(sample_pairs(subs, 30, rng)) == 30
+
+    def test_no_duplicates(self):
+        subs = [sub(i, float(i + 1)) for i in range(8)]
+        rng = np.random.default_rng(1)
+        pairs = sample_pairs(subs, 56, rng)  # all ordered pairs
+        keys = {(p.first.submission_id, p.second.submission_id) for p in pairs}
+        assert len(keys) == 56
+
+    def test_caps_at_total(self):
+        subs = [sub(i, float(i + 1)) for i in range(4)]
+        rng = np.random.default_rng(2)
+        assert len(sample_pairs(subs, 10_000, rng)) == 12
+
+    def test_two_way_produces_mirrored_pairs(self):
+        subs = [sub(i, float(i + 1)) for i in range(8)]
+        rng = np.random.default_rng(3)
+        pairs = sample_pairs(subs, 20, rng, two_way=True)
+        keys = {(p.first.submission_id, p.second.submission_id) for p in pairs}
+        for a, b in list(keys):
+            assert (b, a) in keys
+
+    def test_requires_two_submissions(self):
+        with pytest.raises(ValueError):
+            sample_pairs([sub(1, 1.0)], 5, np.random.default_rng(0))
+
+    def test_add_reversed_doubles(self):
+        subs = [sub(i, float(i + 1)) for i in range(4)]
+        pairs = sample_pairs(subs, 6, np.random.default_rng(4))
+        assert len(add_reversed(pairs)) == 12
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(2, 20), flat=st.integers(0, 10_000))
+def test_property_unflatten_unordered_bijective(n, flat):
+    total = n * (n - 1) // 2
+    flat = flat % total
+    i, j = _unflatten_unordered(flat, n)
+    assert 0 <= i < j < n
+    # recompute flat index from (i, j)
+    recomputed = sum(n - 1 - k for k in range(i)) + (j - i - 1)
+    assert recomputed == flat
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 999), n=st.integers(4, 12))
+def test_property_labels_consistent_with_runtimes(seed, n):
+    rng = np.random.default_rng(seed)
+    subs = [sub(i, float(rng.integers(1, 100))) for i in range(n)]
+    for pair in sample_pairs(subs, 20, rng):
+        expected = 1 if pair.first.mean_runtime_ms >= \
+            pair.second.mean_runtime_ms else 0
+        assert pair.label == expected

@@ -1,0 +1,109 @@
+"""Tests for sampling strategies, splits, and batching."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import Submission
+from repro.data import (
+    iter_batches, pairs_by_fraction, sample_pairs, split_submissions,
+    submission_sweep, subset_submissions,
+)
+
+
+def subs(n):
+    return [Submission(problem_tag="T", submission_id=i,
+                       source=f"int main() {{ return {i}; }}",
+                       mean_runtime_ms=float(i + 1),
+                       max_runtime_ms=i + 1, memory_kb=64)
+            for i in range(n)]
+
+
+class TestSubset:
+    def test_size(self):
+        picked = subset_submissions(subs(20), 5, np.random.default_rng(0))
+        assert len(picked) == 5
+
+    def test_no_duplicates(self):
+        picked = subset_submissions(subs(20), 20, np.random.default_rng(1))
+        assert len({s.submission_id for s in picked}) == 20
+
+    def test_caps(self):
+        assert len(subset_submissions(subs(3), 10, np.random.default_rng(0))) == 3
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            subset_submissions(subs(3), 0, np.random.default_rng(0))
+
+
+class TestPairFraction:
+    def test_quarter(self):
+        pool = subs(10)
+        pairs = pairs_by_fraction(pool, 0.25, np.random.default_rng(0))
+        assert len(pairs) == round(0.25 * 90)
+
+    def test_full(self):
+        pool = subs(6)
+        pairs = pairs_by_fraction(pool, 1.0, np.random.default_rng(0))
+        assert len(pairs) == 30
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            pairs_by_fraction(subs(5), 0.0, np.random.default_rng(0))
+
+
+class TestSweep:
+    def test_powers_of_two(self):
+        assert submission_sweep(32, 256) == [32, 64, 128, 256]
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            submission_sweep(1, 10)
+
+
+class TestSplit:
+    def test_disjoint(self):
+        train, test = split_submissions(subs(20), 0.75,
+                                        np.random.default_rng(0))
+        train_ids = {s.submission_id for s in train}
+        test_ids = {s.submission_id for s in test}
+        assert not train_ids & test_ids
+        assert len(train_ids | test_ids) == 20
+
+    def test_fraction_respected(self):
+        train, test = split_submissions(subs(100), 0.8,
+                                        np.random.default_rng(1))
+        assert len(train) == 80
+        assert len(test) == 20
+
+    def test_both_sides_nonempty_extremes(self):
+        train, test = split_submissions(subs(5), 0.99,
+                                        np.random.default_rng(2))
+        assert len(test) >= 2
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            split_submissions(subs(10), 1.5, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            split_submissions(subs(2), 0.5, np.random.default_rng(0))
+
+
+class TestBatching:
+    def test_covers_all_pairs(self):
+        pool = subs(8)
+        pairs = sample_pairs(pool, 20, np.random.default_rng(0))
+        seen = []
+        for batch in iter_batches(pairs, 6, np.random.default_rng(1)):
+            assert len(batch) <= 6
+            seen.extend(batch)
+        assert len(seen) == 20
+
+    def test_no_shuffle_preserves_order(self):
+        pool = subs(6)
+        pairs = sample_pairs(pool, 10, np.random.default_rng(0))
+        flat = [p for batch in iter_batches(pairs, 4, shuffle=False)
+                for p in batch]
+        assert flat == pairs
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            list(iter_batches([], 0))

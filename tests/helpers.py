@@ -1,0 +1,41 @@
+"""Shared test utilities: finite-difference gradient checking."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numeric_grad(fn, value: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` w.r.t. ``value``."""
+    grad = np.zeros_like(value, dtype=np.float64)
+    flat = value.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = fn()
+        flat[i] = orig - eps
+        minus = fn()
+        flat[i] = orig
+        gflat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(build_loss, tensors: list[Tensor], atol: float = 1e-5,
+                    rtol: float = 1e-4) -> None:
+    """Assert autograd gradients match finite differences.
+
+    ``build_loss`` must construct a *fresh* scalar loss Tensor from the
+    current ``tensors`` data each time it is called.
+    """
+    loss = build_loss()
+    for t in tensors:
+        t.zero_grad()
+    loss = build_loss()
+    loss.backward()
+    for t in tensors:
+        assert t.grad is not None, f"no gradient for {t!r}"
+        expected = numeric_grad(lambda: float(build_loss().data), t.data)
+        np.testing.assert_allclose(t.grad, expected, atol=atol, rtol=rtol)

@@ -1,0 +1,173 @@
+"""Differential testing: the interpreter vs a Python oracle.
+
+Hypothesis generates random integer expression trees and straight-line
+programs in the C++ subset; each is rendered to source, executed by the
+interpreter, and compared against a Python evaluation of the same
+semantics. This is the strongest guard on the judge's correctness —
+every corpus label flows through these code paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.judge import Interpreter
+from repro.lang import parse
+
+# ---------------------------------------------------------------------------
+# random integer expressions
+# ---------------------------------------------------------------------------
+_SAFE_BINOPS = ["+", "-", "*"]
+
+
+@st.composite
+def int_expr(draw, depth=0):
+    """(source_text, python_value) pairs for pure integer expressions."""
+    if depth >= 3 or draw(st.booleans()):
+        value = draw(st.integers(min_value=-50, max_value=50))
+        return (f"({value})", value)
+    op = draw(st.sampled_from(_SAFE_BINOPS + ["/", "%", "min", "max"]))
+    left_src, left_val = draw(int_expr(depth=depth + 1))
+    right_src, right_val = draw(int_expr(depth=depth + 1))
+    if op in ("/", "%"):
+        if right_val == 0:
+            right_src, right_val = "(7)", 7
+        if op == "/":
+            quotient = abs(left_val) // abs(right_val)
+            value = quotient if (left_val >= 0) == (right_val >= 0) \
+                else -quotient
+            return (f"({left_src} / {right_src})", value)
+        remainder = abs(left_val) % abs(right_val)
+        value = remainder if left_val >= 0 else -remainder
+        return (f"({left_src} % {right_src})", value)
+    if op == "min":
+        return (f"min({left_src}, {right_src})", min(left_val, right_val))
+    if op == "max":
+        return (f"max({left_src}, {right_src})", max(left_val, right_val))
+    value = {"+": left_val + right_val, "-": left_val - right_val,
+             "*": left_val * right_val}[op]
+    return (f"({left_src} {op} {right_src})", value)
+
+
+@settings(max_examples=60, deadline=None)
+@given(expr=int_expr())
+def test_property_integer_expressions_match_python(expr):
+    source_text, expected = expr
+    program = f"int main() {{ long long r = {source_text}; cout << r; }}"
+    out = Interpreter(parse(program)).run("").stdout
+    assert out == str(expected)
+
+
+# ---------------------------------------------------------------------------
+# random straight-line accumulator programs
+# ---------------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    updates=st.lists(
+        st.tuples(st.sampled_from(["+=", "-=", "*="]),
+                  st.integers(min_value=-9, max_value=9)),
+        min_size=1, max_size=8),
+    start=st.integers(min_value=-20, max_value=20),
+)
+def test_property_compound_assignment_chains(updates, start):
+    lines = [f"long long acc = {start};"]
+    expected = start
+    for op, operand in updates:
+        lines.append(f"acc {op} ({operand});")
+        if op == "+=":
+            expected += operand
+        elif op == "-=":
+            expected -= operand
+        else:
+            expected *= operand
+    program = "int main() { " + " ".join(lines) + " cout << acc; }"
+    out = Interpreter(parse(program)).run("").stdout
+    assert out == str(expected)
+
+
+# ---------------------------------------------------------------------------
+# random loops over arrays
+# ---------------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(values=st.lists(st.integers(min_value=-100, max_value=100),
+                       min_size=1, max_size=20))
+def test_property_vector_sum_matches_python(values):
+    n = len(values)
+    program = f"""
+    int main() {{
+        int n; cin >> n;
+        vector<int> v(n, 0);
+        for (int i = 0; i < n; i++) cin >> v[i];
+        long long s = 0;
+        for (int i = 0; i < n; i++) s += v[i];
+        cout << s;
+    }}
+    """
+    stdin = f"{n} " + " ".join(map(str, values))
+    out = Interpreter(parse(program)).run(stdin).stdout
+    assert out == str(sum(values))
+
+
+@settings(max_examples=25, deadline=None)
+@given(values=st.lists(st.integers(min_value=0, max_value=1000),
+                       min_size=2, max_size=15))
+def test_property_sort_matches_python(values):
+    n = len(values)
+    program = f"""
+    int main() {{
+        int n; cin >> n;
+        vector<int> v(n, 0);
+        for (int i = 0; i < n; i++) cin >> v[i];
+        sort(v.begin(), v.end());
+        for (int i = 0; i < n; i++) cout << v[i] << ' ';
+    }}
+    """
+    stdin = f"{n} " + " ".join(map(str, values))
+    out = Interpreter(parse(program)).run(stdin).stdout
+    assert out.split() == [str(v) for v in sorted(values)]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    values=st.lists(st.integers(min_value=-50, max_value=50),
+                    min_size=1, max_size=12),
+    threshold=st.integers(min_value=-50, max_value=50),
+)
+def test_property_conditional_count_matches_python(values, threshold):
+    n = len(values)
+    program = f"""
+    int main() {{
+        int n, t; cin >> n >> t;
+        int count = 0;
+        for (int i = 0; i < n; i++) {{
+            int x; cin >> x;
+            if (x > t) count++;
+        }}
+        cout << count;
+    }}
+    """
+    stdin = f"{n} {threshold} " + " ".join(map(str, values))
+    out = Interpreter(parse(program)).run(stdin).stdout
+    assert out == str(sum(1 for v in values if v > threshold))
+
+
+# ---------------------------------------------------------------------------
+# recursion depth via random gcd chains
+# ---------------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(a=st.integers(min_value=1, max_value=10_000),
+       b=st.integers(min_value=1, max_value=10_000))
+def test_property_recursive_gcd_matches_math(a, b):
+    import math
+
+    program = """
+    int gcd(int a, int b) {
+        if (b == 0) return a;
+        return gcd(b, a % b);
+    }
+    int main() { int a, b; cin >> a >> b; cout << gcd(a, b); }
+    """
+    out = Interpreter(parse(program)).run(f"{a} {b}").stdout
+    assert out == str(math.gcd(a, b))

@@ -1,0 +1,118 @@
+"""Unit tests for the judge's value model, cost model and machine."""
+
+import numpy as np
+import pytest
+
+from repro.judge.cost import CostModel
+from repro.judge.errors import RuntimeFault
+from repro.judge.values import (
+    MapVal, PairVal, PriorityQueueVal, QueueVal, SetVal, StackVal,
+    VectorVal, container_size, copy_value, deep_element_count,
+    default_value, truthy,
+)
+from repro.lang.cpp_ast import TypeSpec
+
+
+class TestDefaults:
+    def test_scalar_defaults(self):
+        assert default_value(TypeSpec(base="int")) == 0
+        assert default_value(TypeSpec(base="double")) == 0.0
+        assert default_value(TypeSpec(base="string")) == ""
+        assert default_value(TypeSpec(base="char")) == "\0"
+
+    def test_container_defaults(self):
+        assert isinstance(default_value(TypeSpec(base="vector")), VectorVal)
+        assert isinstance(default_value(TypeSpec(base="map")), MapVal)
+        assert isinstance(default_value(TypeSpec(base="set")), SetVal)
+        assert isinstance(default_value(TypeSpec(base="queue")), QueueVal)
+        assert isinstance(default_value(TypeSpec(base="stack")), StackVal)
+        assert isinstance(default_value(TypeSpec(base="priority_queue")),
+                          PriorityQueueVal)
+
+    def test_pair_default_uses_args(self):
+        spec = TypeSpec(base="pair", args=[TypeSpec(base="double"),
+                                           TypeSpec(base="int")])
+        pair = default_value(spec)
+        assert pair.first == 0.0
+        assert pair.second == 0
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(RuntimeFault):
+            default_value(TypeSpec(base="hashmap"))
+
+
+class TestCopySemantics:
+    def test_vector_deep_copy(self):
+        original = VectorVal([VectorVal([1, 2])])
+        clone = copy_value(original)
+        clone.items[0].items.append(3)
+        assert len(original.items[0]) == 2
+
+    def test_map_copy(self):
+        original = MapVal()
+        original.entries["k"] = VectorVal([1])
+        clone = copy_value(original)
+        clone.entries["k"].items.append(2)
+        assert len(original.entries["k"]) == 1
+
+    def test_scalars_pass_through(self):
+        assert copy_value(42) == 42
+        assert copy_value("text") == "text"
+
+
+class TestContainers:
+    def test_priority_queue_is_max_heap(self):
+        pq = PriorityQueueVal()
+        for value in (3, 9, 1, 7):
+            pq.push(value)
+        assert pq.top() == 9
+        assert pq.pop() == 9
+        assert pq.pop() == 7
+
+    def test_priority_queue_empty_faults(self):
+        with pytest.raises(RuntimeFault):
+            PriorityQueueVal().pop()
+
+    def test_multiset_counts(self):
+        st = SetVal(multi=True)
+        st.items = {5: 3}
+        assert len(st) == 3
+
+    def test_vector_bounds(self):
+        vec = VectorVal([1, 2, 3])
+        with pytest.raises(RuntimeFault):
+            vec.at(3)
+        with pytest.raises(RuntimeFault):
+            vec.set(-1, 0)
+
+    def test_container_size(self):
+        assert container_size(VectorVal([1, 2])) == 2
+        assert container_size("abcd") == 4
+        assert container_size(5) == 0
+
+    def test_deep_element_count(self):
+        nested = VectorVal([VectorVal([1] * 10), VectorVal([2] * 5)])
+        assert deep_element_count(nested) >= 15
+
+    def test_truthy(self):
+        assert truthy(1) and not truthy(0)
+        assert truthy(0.5) and not truthy(0.0)
+        assert truthy("x") and not truthy("")
+        with pytest.raises(RuntimeFault):
+            truthy(VectorVal())
+
+
+class TestCostModel:
+    def test_tree_op_grows_logarithmically(self):
+        cost = CostModel()
+        assert cost.tree_op(1000) > cost.tree_op(10)
+        assert cost.tree_op(10 ** 6) < cost.tree_op(10) * 10
+
+    def test_sort_cost_superlinear(self):
+        cost = CostModel()
+        assert cost.sort_cost(1000) > 10 * cost.sort_cost(64)
+        assert cost.sort_cost(0) == cost.sort_per_cmp
+
+    def test_copy_cost_linear(self):
+        cost = CostModel()
+        assert cost.copy_cost(100) == 100 * cost.copy_per_element

@@ -1,0 +1,128 @@
+"""Tests for AST diffing (kind deltas and tree edit distance)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import (
+    kind_delta, parse, simplify, structural_similarity, tree_edit_distance,
+)
+
+
+def tree(source: str):
+    return simplify(parse(source))
+
+
+BASE = "int main() { int x = 0; for (int i = 0; i < 10; i++) x += i; return x; }"
+
+
+class TestKindDelta:
+    def test_identical_trees_empty_delta(self):
+        assert kind_delta(tree(BASE), tree(BASE)) == {}
+
+    def test_added_loop_shows_up(self):
+        extended = BASE.replace("return x;",
+                                "while (x > 0) x--; return x;")
+        delta = kind_delta(tree(extended), tree(BASE))
+        assert delta["while_stmt"] == 1
+
+    def test_delta_is_antisymmetric(self):
+        other = "int main() { if (1) return 2; return 3; }"
+        forward = kind_delta(tree(BASE), tree(other))
+        backward = kind_delta(tree(other), tree(BASE))
+        assert forward == {k: -v for k, v in backward.items()}
+
+
+class TestTreeEditDistance:
+    def test_identical_is_zero(self):
+        assert tree_edit_distance(tree(BASE), tree(BASE)) == 0
+
+    def test_single_relabel(self):
+        a = tree("int main() { int x = 1 + 2; return x; }")
+        b = tree("int main() { int x = 1 * 2; return x; }")
+        assert tree_edit_distance(a, b) == 1
+
+    def test_single_insertion(self):
+        a = tree("int main() { return 0; }")
+        b = tree("int main() { break; return 0; }")
+        assert tree_edit_distance(a, b) == 1
+
+    def test_symmetry(self):
+        a = tree(BASE)
+        b = tree("int main() { int y = 5; return y * y; }")
+        assert tree_edit_distance(a, b) == tree_edit_distance(b, a)
+
+    def test_triangle_inequality(self):
+        a = tree("int main() { return 0; }")
+        b = tree("int main() { int x = 1; return x; }")
+        c = tree("int main() { int x = 1; if (x) return x; return 0; }")
+        ab = tree_edit_distance(a, b)
+        bc = tree_edit_distance(b, c)
+        ac = tree_edit_distance(a, c)
+        assert ac <= ab + bc
+
+    def test_bounded_by_total_size(self):
+        a = tree(BASE)
+        b = tree("int main() { return 0; }")
+        size_a = sum(1 for _ in a.walk())
+        size_b = sum(1 for _ in b.walk())
+        assert tree_edit_distance(a, b) <= size_a + size_b
+
+    def test_custom_costs(self):
+        a = tree("int main() { return 1 + 2; }")
+        b = tree("int main() { return 1 * 2; }")
+        # relabel costs 3 but delete+insert costs 2, so the optimal
+        # script switches strategies once relabeling becomes expensive.
+        assert tree_edit_distance(a, b, relabel_cost=3) == 2
+        assert tree_edit_distance(a, b, relabel_cost=3,
+                                  insert_cost=5, delete_cost=5) == 3
+
+
+class TestStructuralSimilarity:
+    def test_identical_is_one(self):
+        assert structural_similarity(tree(BASE), tree(BASE)) == 1.0
+
+    def test_in_unit_interval(self):
+        a = tree(BASE)
+        b = tree("int main() { return 0; }")
+        assert 0.0 <= structural_similarity(a, b) < 1.0
+
+    def test_style_variants_more_similar_than_algorithm_change(self):
+        """A renamed/loop-restyled variant should stay closer than an
+        algorithmically different one (the premise behind using ASTs)."""
+        original = """
+        int main() { int n; cin >> n; long long s = 0;
+            for (int i = 0; i < n; i++) s += i;
+            cout << s; return 0; }
+        """
+        restyled = """
+        int main() { int num; cin >> num; long long total = 0;
+            for (int k = 0; k < num; ++k) total += k;
+            cout << total; return 0; }
+        """
+        different = """
+        int main() { int n; cin >> n; long long s = 0;
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j <= i; j++)
+                    if (j == i) s += i;
+            cout << s; return 0; }
+        """
+        sim_style = structural_similarity(tree(original), tree(restyled))
+        sim_algo = structural_similarity(tree(original), tree(different))
+        assert sim_style > sim_algo
+        assert sim_style > 0.95  # names don't appear in the AST kinds
+
+
+@settings(max_examples=20, deadline=None)
+@given(extra_loops=st.integers(0, 3))
+def test_property_distance_grows_with_insertions(extra_loops):
+    base = tree("int main() { return 0; }")
+    body = "".join(f"for (int i{k} = 0; i{k} < 3; i{k}++) ;"
+                   for k in range(extra_loops))
+    # empty statements are not in the subset; use a counter instead
+    body = "".join(
+        f"for (int i{k} = 0; i{k} < 3; i{k}++) c += 1;"
+        for k in range(extra_loops))
+    grown = tree(f"int main() {{ int c = 0; {body} return c; }}")
+    distance = tree_edit_distance(base, grown)
+    assert distance >= extra_loops  # at least one op per added loop

@@ -1,0 +1,121 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source_gives_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_identifier_and_keyword(self):
+        toks = tokenize("int foo")
+        assert toks[0].kind is TokenKind.KEYWORD
+        assert toks[1].kind is TokenKind.IDENT
+        assert toks[1].text == "foo"
+
+    def test_positions(self):
+        toks = tokenize("int x;\nint y;")
+        y_tok = [t for t in toks if t.text == "y"][0]
+        assert y_tok.line == 2
+        assert y_tok.column == 5
+
+    def test_underscore_identifiers(self):
+        assert texts("_foo __bar a_b_c") == ["_foo", "__bar", "a_b_c"]
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert texts("int x; // hello world\nint y;") == \
+            ["int", "x", ";", "int", "y", ";"]
+
+    def test_block_comment_skipped(self):
+        assert texts("int /* comment */ x;") == ["int", "x", ";"]
+
+    def test_multiline_block_comment_tracks_lines(self):
+        toks = tokenize("/* a\nb\nc */ int x;")
+        assert toks[0].line == 3
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("/* forever")
+
+
+class TestNumbers:
+    def test_int(self):
+        toks = tokenize("42")
+        assert toks[0].kind is TokenKind.INT_LIT
+
+    def test_float_variants(self):
+        for text in ["3.14", "1e9", "2.5e-3", "1.0f"]:
+            assert tokenize(text)[0].kind is TokenKind.FLOAT_LIT, text
+
+    def test_ll_suffix(self):
+        toks = tokenize("100LL 7ull")
+        assert toks[0].kind is TokenKind.INT_LIT
+        assert toks[0].text == "100LL"
+        assert toks[1].kind is TokenKind.INT_LIT
+
+    def test_hex(self):
+        toks = tokenize("0x3f3f3f3f")
+        assert toks[0].kind is TokenKind.INT_LIT
+
+
+class TestStringsAndChars:
+    def test_string(self):
+        toks = tokenize('"hello"')
+        assert toks[0].kind is TokenKind.STRING_LIT
+        assert toks[0].text == '"hello"'
+
+    def test_char(self):
+        assert tokenize("'a'")[0].kind is TokenKind.CHAR_LIT
+
+    def test_escapes(self):
+        assert tokenize(r'"a\"b"')[0].text == r'"a\"b"'
+        assert tokenize(r"'\n'")[0].kind is TokenKind.CHAR_LIT
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize('"oops')
+
+
+class TestOperators:
+    def test_maximal_munch(self):
+        assert texts("a<<=b") == ["a", "<<=", "b"]
+        assert texts("a<<b") == ["a", "<<", "b"]
+        assert texts("i++ + ++j") == ["i", "++", "+", "++", "j"]
+
+    def test_shift_vs_template_tokens(self):
+        # The lexer emits '>>'; the parser splits it inside templates.
+        assert ">>" in texts("vector<vector<int>> v")
+
+    def test_scope_operator(self):
+        assert "::" in texts("std::sort")
+
+
+class TestPreprocessor:
+    def test_include_captured(self):
+        toks = tokenize("#include <bits/stdc++.h>\nint x;")
+        assert toks[0].kind is TokenKind.PREPROCESSOR
+        assert "bits/stdc++.h" in toks[0].text
+
+    def test_hash_mid_line_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("int x; #define Y 1")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="unexpected"):
+            tokenize("int x = `1`;")

@@ -1,0 +1,264 @@
+"""Parser unit tests over the C++ subset."""
+
+import pytest
+
+from repro.lang import parse, to_source
+from repro.lang.cpp_ast import (
+    Assign, BinaryOp, Block, Call, DoWhile, For, FunctionDef, Ident, If,
+    Index, IntLit, IoRead, IoWrite, Member, MethodCall, PostfixOp, Return,
+    StringLit, Ternary, UnaryOp, VarDecl, While,
+)
+from repro.lang.errors import ParseError
+from repro.lang.traversal import find_all
+
+
+def parse_main(body: str):
+    unit = parse("int main() {\n" + body + "\n}")
+    return unit.functions[0].body
+
+
+class TestTopLevel:
+    def test_includes_and_using(self):
+        unit = parse("#include <iostream>\nusing namespace std;\n"
+                     "int main() { return 0; }")
+        assert unit.includes[0].header == "iostream"
+        assert unit.usings[0].name == "std"
+
+    def test_multiple_functions(self):
+        unit = parse("int helper(int x) { return x; } int main() { return 0; }")
+        assert [f.name for f in unit.functions] == ["helper", "main"]
+
+    def test_global_variables(self):
+        unit = parse("int N = 100;\nint arr[100];\nint main() { return 0; }")
+        assert len(unit.globals) == 2
+        assert unit.globals[1].declarators[0].array_sizes
+
+    def test_typedef_expansion(self):
+        unit = parse("typedef long long ll;\nll add(ll a, ll b) { return a + b; }")
+        fn = unit.functions[0]
+        assert fn.return_type.base == "long long"
+        assert fn.params[0].type.base == "long long"
+
+    def test_reference_params(self):
+        unit = parse("void f(vector<int> &v, int x) { }")
+        assert unit.functions[0].params[0].by_ref
+        assert not unit.functions[0].params[1].by_ref
+
+    def test_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse("+++;")
+
+
+class TestTypes:
+    def test_long_long(self):
+        unit = parse("long long f() { return 0; }")
+        assert unit.functions[0].return_type.base == "long long"
+
+    def test_nested_templates_split_shift(self):
+        block = parse_main("vector<vector<int>> grid;")
+        decl = block.statements[0]
+        assert isinstance(decl, VarDecl)
+        assert decl.type.base == "vector"
+        assert decl.type.args[0].base == "vector"
+        assert decl.type.args[0].args[0].base == "int"
+
+    def test_map_two_args(self):
+        block = parse_main("map<string, int> freq;")
+        decl = block.statements[0]
+        assert decl.type.base == "map"
+        assert [a.base for a in decl.type.args] == ["string", "int"]
+
+    def test_pair(self):
+        block = parse_main("pair<int, int> p;")
+        assert block.statements[0].type.base == "pair"
+
+    def test_ctor_init(self):
+        block = parse_main("vector<int> v(n, 0);")
+        init = block.statements[0].declarators[0].init
+        assert isinstance(init, Call)
+        assert init.name == "__ctor__"
+        assert len(init.args) == 2
+
+
+class TestStatements:
+    def test_if_else(self):
+        block = parse_main("if (x > 0) y = 1; else y = 2;")
+        stmt = block.statements[0]
+        assert isinstance(stmt, If)
+        assert stmt.orelse is not None
+
+    def test_dangling_else_binds_inner(self):
+        block = parse_main("if (a) if (b) x = 1; else x = 2;")
+        outer = block.statements[0]
+        assert outer.orelse is None
+        assert outer.then.orelse is not None
+
+    def test_for_loop_parts(self):
+        block = parse_main("for (int i = 0; i < n; i++) s += i;")
+        loop = block.statements[0]
+        assert isinstance(loop, For)
+        assert isinstance(loop.init, VarDecl)
+        assert isinstance(loop.cond, BinaryOp)
+        assert isinstance(loop.step, PostfixOp)
+
+    def test_for_empty_parts(self):
+        block = parse_main("for (;;) break;")
+        loop = block.statements[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_while_and_do_while(self):
+        block = parse_main("while (x) x--; do { x++; } while (x < 10);")
+        assert isinstance(block.statements[0], While)
+        assert isinstance(block.statements[1], DoWhile)
+
+    def test_cin_chain(self):
+        block = parse_main("cin >> n >> m;")
+        stmt = block.statements[0]
+        assert isinstance(stmt, IoRead)
+        assert len(stmt.targets) == 2
+
+    def test_cout_chain(self):
+        block = parse_main('cout << "ans: " << x << endl;')
+        stmt = block.statements[0]
+        assert isinstance(stmt, IoWrite)
+        assert isinstance(stmt.values[0], StringLit)
+        assert len(stmt.values) == 3
+
+    def test_multi_declarator(self):
+        block = parse_main("int a = 1, b = 2, c;")
+        decl = block.statements[0]
+        assert [d.name for d in decl.declarators] == ["a", "b", "c"]
+
+    def test_array_declaration(self):
+        block = parse_main("int dp[105][105];")
+        decl = block.statements[0].declarators[0]
+        assert len(decl.array_sizes) == 2
+
+    def test_return_void(self):
+        block = parse_main("return;")
+        assert isinstance(block.statements[0], Return)
+        assert block.statements[0].value is None
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        block = parse_main("x = a + b * c;")
+        assign = block.statements[0].expr
+        assert isinstance(assign, Assign)
+        assert assign.value.op == "+"
+        assert assign.value.right.op == "*"
+
+    def test_parenthesized(self):
+        block = parse_main("x = (a + b) * c;")
+        assert block.statements[0].expr.value.op == "*"
+
+    def test_comparison_chain_with_logical(self):
+        block = parse_main("ok = a < b && b < c || d == e;")
+        top = block.statements[0].expr.value
+        assert top.op == "||"
+        assert top.left.op == "&&"
+
+    def test_assignment_right_assoc(self):
+        block = parse_main("a = b = 3;")
+        outer = block.statements[0].expr
+        assert isinstance(outer.value, Assign)
+
+    def test_compound_assign(self):
+        block = parse_main("x += 2; y %= 3;")
+        assert block.statements[0].expr.op == "+="
+        assert block.statements[1].expr.op == "%="
+
+    def test_ternary(self):
+        block = parse_main("m = a > b ? a : b;")
+        assert isinstance(block.statements[0].expr.value, Ternary)
+
+    def test_unary_and_postfix(self):
+        block = parse_main("x = -y; z = !flag; i++; --j;")
+        assert isinstance(block.statements[0].expr.value, UnaryOp)
+        assert isinstance(block.statements[2].expr, PostfixOp)
+        assert isinstance(block.statements[3].expr, UnaryOp)
+
+    def test_method_calls(self):
+        block = parse_main("v.push_back(x); n = v.size();")
+        call = block.statements[0].expr
+        assert isinstance(call, MethodCall)
+        assert call.method == "push_back"
+
+    def test_member_access(self):
+        block = parse_main("x = p.first + p.second;")
+        add = block.statements[0].expr.value
+        assert isinstance(add.left, Member)
+        assert add.left.field_name == "first"
+
+    def test_indexing(self):
+        block = parse_main("x = grid[i][j];")
+        idx = block.statements[0].expr.value
+        assert isinstance(idx, Index)
+        assert isinstance(idx.obj, Index)
+
+    def test_function_call_args(self):
+        block = parse_main("x = max(a, min(b, c));")
+        call = block.statements[0].expr.value
+        assert isinstance(call, Call)
+        assert call.name == "max"
+        assert isinstance(call.args[1], Call)
+
+    def test_cast(self):
+        block = parse_main("x = (long long)(a) * b;")
+        mul = block.statements[0].expr.value
+        assert mul.op == "*"
+        assert isinstance(mul.left, Call)
+        assert mul.left.name == "__cast_long_long__"
+
+    def test_shift_in_expression(self):
+        block = parse_main("x = 1 << k;")
+        assert block.statements[0].expr.value.op == "<<"
+
+    def test_sort_with_iterators(self):
+        block = parse_main("sort(v.begin(), v.end());")
+        call = block.statements[0].expr
+        assert call.name == "sort"
+        assert all(isinstance(a, MethodCall) for a in call.args)
+
+
+class TestRoundTrip:
+    SAMPLES = [
+        "int main() { int n; cin >> n; cout << n * 2 << endl; return 0; }",
+        """
+        int gcd(int a, int b) {
+            while (b != 0) { int t = a % b; a = b; b = t; }
+            return a;
+        }
+        int main() { int a, b; cin >> a >> b; cout << gcd(a, b); return 0; }
+        """,
+        """
+        int main() {
+            int n; cin >> n;
+            vector<int> v(n, 0);
+            for (int i = 0; i < n; i++) cin >> v[i];
+            sort(v.begin(), v.end());
+            long long s = 0;
+            for (int i = 0; i < n; i++) s += (long long)(v[i]) * i;
+            cout << s << endl;
+            return 0;
+        }
+        """,
+    ]
+
+    @pytest.mark.parametrize("source", SAMPLES)
+    def test_parse_print_parse_stable(self, source):
+        """Printing then re-parsing must reproduce the same structure."""
+        first = parse(source)
+        printed = to_source(first)
+        second = parse(printed)
+        from repro.lang import flatten, simplify
+
+        flat1 = flatten(simplify(first))
+        flat2 = flatten(simplify(second))
+        assert flat1.kinds == flat2.kinds
+        assert flat1.children == flat2.children
+
+    def test_find_all(self):
+        unit = parse(self.SAMPLES[2])
+        fors = find_all(unit, For)
+        assert len(fors) == 2

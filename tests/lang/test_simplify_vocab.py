@@ -1,0 +1,157 @@
+"""Tests for AST simplification, flattening and the node vocabulary."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import (
+    NodeVocab, canonical_kinds, flatten, kind_histogram, node_count, parse,
+    simplify, tree_depth,
+)
+from repro.lang.cpp_ast import Root
+
+SOURCE = """
+#include <iostream>
+using namespace std;
+int N = 50;
+int helper(int x) { return x * 2; }
+int main() {
+    int total = 0;
+    for (int i = 0; i < N; i++) total += helper(i);
+    cout << total << endl;
+    return 0;
+}
+"""
+
+
+class TestSimplify:
+    def test_keeps_only_functions(self):
+        root = simplify(parse(SOURCE))
+        assert isinstance(root, Root)
+        assert [f.name for f in root.functions] == ["helper", "main"]
+
+    def test_drops_includes_and_globals(self):
+        root = simplify(parse(SOURCE))
+        kinds = {n.kind for n in root.walk()}
+        assert "include" not in kinds
+        assert "using_namespace" not in kinds
+
+    def test_requires_functions(self):
+        with pytest.raises(ValueError, match="no function definitions"):
+            simplify(parse("int x = 5;"))
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            simplify("not a translation unit")
+
+
+class TestFlatten:
+    def test_preorder_root_first(self):
+        flat = flatten(simplify(parse(SOURCE)))
+        assert flat.kinds[0] == "root"
+        assert flat.num_nodes == node_count(simplify(parse(SOURCE)))
+
+    def test_children_links_are_consistent(self):
+        flat = flatten(simplify(parse(SOURCE)))
+        seen = set()
+        for parent, kids in enumerate(flat.children):
+            for child in kids:
+                assert child > parent  # pre-order property
+                assert child not in seen
+                seen.add(child)
+        # every node except the root has exactly one parent
+        assert len(seen) == flat.num_nodes - 1
+
+    def test_edges_match_children(self):
+        flat = flatten(simplify(parse(SOURCE)))
+        assert len(flat.edges) == flat.num_nodes - 1
+
+    def test_depth_matches_traversal(self):
+        root = simplify(parse(SOURCE))
+        assert flatten(root).depth() == tree_depth(root)
+
+    def test_categories_align(self):
+        flat = flatten(simplify(parse(SOURCE)))
+        assert len(flat.categories) == flat.num_nodes
+        assert flat.categories[0] == "support"
+        assert "statement" in flat.categories
+        assert "literal" in flat.categories
+
+
+class TestNodeVocab:
+    def test_canonical_covers_sample(self):
+        vocab = NodeVocab(frozen=True)
+        flat = flatten(simplify(parse(SOURCE)))
+        ids = vocab.encode_all(flat.kinds)
+        unk = vocab.encode(NodeVocab.UNK)
+        assert unk not in ids  # nothing unknown in a plain program
+
+    def test_same_kind_same_id_across_trees(self):
+        vocab = NodeVocab()
+        a = vocab.encode_all(flatten(simplify(parse(SOURCE))).kinds)
+        b = vocab.encode_all(
+            flatten(simplify(parse("int main() { for(;;) break; }"))).kinds)
+        kinds_a = flatten(simplify(parse(SOURCE))).kinds
+        for_id_a = a[kinds_a.index("for_stmt")]
+        kinds_b = flatten(simplify(parse("int main() { for(;;) break; }"))).kinds
+        for_id_b = b[kinds_b.index("for_stmt")]
+        assert for_id_a == for_id_b
+
+    def test_unknown_maps_to_unk_when_frozen(self):
+        vocab = NodeVocab(frozen=True)
+        assert vocab.encode("alien_kind") == vocab.encode(NodeVocab.UNK)
+
+    def test_unknown_grows_when_unfrozen(self):
+        vocab = NodeVocab()
+        before = len(vocab)
+        vocab.encode("alien_kind")
+        assert len(vocab) == before + 1
+
+    def test_add_frozen_raises(self):
+        vocab = NodeVocab(frozen=True)
+        with pytest.raises(KeyError):
+            vocab.add("new_kind")
+
+    def test_roundtrip_decode(self):
+        vocab = NodeVocab()
+        for kind in canonical_kinds():
+            assert vocab.decode(vocab.encode(kind)) == kind
+
+    def test_save_load(self, tmp_path):
+        vocab = NodeVocab(frozen=True)
+        path = tmp_path / "vocab.json"
+        vocab.save(path)
+        loaded = NodeVocab.load(path)
+        assert len(loaded) == len(vocab)
+        assert loaded.frozen
+        assert loaded.encode("for_stmt") == vocab.encode("for_stmt")
+
+    def test_histogram(self):
+        hist = kind_histogram(simplify(parse(SOURCE)))
+        assert hist["function_def"] == 2
+        assert hist["for_stmt"] == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_loops=st.integers(0, 4),
+    n_ifs=st.integers(0, 3),
+    use_vector=st.booleans(),
+)
+def test_property_generated_programs_parse_and_flatten(n_loops, n_ifs, use_vector):
+    """Structured random programs always parse, simplify, and flatten with
+    consistent topology."""
+    body = ["int acc = 0;"]
+    if use_vector:
+        body.append("vector<int> v;")
+    for i in range(n_loops):
+        body.append(f"for (int i{i} = 0; i{i} < 10; i{i}++) acc += i{i};")
+    for j in range(n_ifs):
+        body.append(f"if (acc % {j + 2} == 0) acc--;")
+    body.append("return acc;")
+    source = "int main() {\n" + "\n".join(body) + "\n}"
+    flat = flatten(simplify(parse(source)))
+    assert flat.kinds[0] == "root"
+    assert flat.kinds.count("for_stmt") == n_loops
+    assert flat.kinds.count("if_stmt") == n_ifs
+    assert all(child > parent for parent, child in flat.edges)

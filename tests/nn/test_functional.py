@@ -1,0 +1,88 @@
+"""Tests for repro.nn.functional wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, functional as F
+
+from ..helpers import check_gradients
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 5)))
+        out = F.softmax(x, axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4))
+
+    def test_stable_for_large_values(self):
+        x = Tensor(np.array([[1000.0, 1000.0], [-1000.0, 1000.0]]))
+        out = F.softmax(x)
+        assert np.all(np.isfinite(out.data))
+        np.testing.assert_allclose(out.data[0], [0.5, 0.5])
+
+    def test_gradients(self):
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 4)),
+                   requires_grad=True)
+        check_gradients(lambda: (F.softmax(x) ** 2).sum(), [x],
+                        atol=1e-4, rtol=1e-3)
+
+    def test_log_softmax_consistent(self):
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 6)))
+        log_sm = F.log_softmax(x)
+        np.testing.assert_allclose(np.exp(log_sm.data),
+                                   F.softmax(x).data, atol=1e-10)
+
+
+class TestLinearFn:
+    def test_matches_manual(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.normal(size=(4, 3)))
+        w = Tensor(rng.normal(size=(5, 3)))
+        b = Tensor(rng.normal(size=5))
+        out = F.linear(x, w, b)
+        np.testing.assert_allclose(out.data, x.data @ w.data.T + b.data)
+
+    def test_no_bias(self):
+        rng = np.random.default_rng(4)
+        x = Tensor(rng.normal(size=(2, 3)))
+        w = Tensor(rng.normal(size=(4, 3)))
+        assert F.linear(x, w).shape == (2, 4)
+
+
+class TestDropoutFn:
+    def test_eval_identity(self):
+        x = Tensor(np.ones(10))
+        out = F.dropout(x, 0.5, training=False,
+                        rng=np.random.default_rng(0))
+        assert out is x
+
+    def test_zero_p_identity(self):
+        x = Tensor(np.ones(10))
+        out = F.dropout(x, 0.0, training=True, rng=np.random.default_rng(0))
+        assert out is x
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, training=True,
+                      rng=np.random.default_rng(0))
+
+    def test_expectation_preserved(self):
+        rng = np.random.default_rng(5)
+        x = Tensor(np.ones(20_000))
+        out = F.dropout(x, 0.3, training=True, rng=rng)
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+
+class TestCombinatorsFn:
+    def test_concat_stack_add_n(self):
+        a = Tensor(np.ones((2, 2)))
+        b = Tensor(np.zeros((2, 2)))
+        assert F.concat([a, b], axis=1).shape == (2, 4)
+        assert F.stack([a, b]).shape == (2, 2, 2)
+        np.testing.assert_allclose(F.add_n([a, a, a]).data, 3 * a.data)
+
+    def test_activations(self):
+        x = Tensor(np.array([-1.0, 0.0, 1.0]))
+        np.testing.assert_allclose(F.tanh(x).data, np.tanh(x.data))
+        np.testing.assert_allclose(F.relu(x).data, [0.0, 0.0, 1.0])
+        assert np.all((0 < F.sigmoid(x).data) & (F.sigmoid(x).data < 1))

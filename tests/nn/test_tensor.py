@@ -1,0 +1,214 @@
+"""Unit tests for the autograd engine, including finite-difference checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import Tensor, no_grad
+
+from ..helpers import check_gradients
+
+
+def rand(shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestBasics:
+    def test_wraps_data_as_float64(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype == np.float64
+        assert t.shape == (3,)
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_detach_shares_data_but_no_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_backward_requires_grad(self):
+        t = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_backward_nonscalar_needs_grad_arg(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_no_grad_context(self):
+        t = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = t * 2
+        assert not out.requires_grad
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        a = Tensor(rand((3, 4)), requires_grad=True)
+        b = Tensor(rand((3, 4), 1), requires_grad=True)
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_add_broadcast(self):
+        a = Tensor(rand((3, 4)), requires_grad=True)
+        b = Tensor(rand((4,), 1), requires_grad=True)
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_mul_broadcast_scalar(self):
+        a = Tensor(rand((2, 3)), requires_grad=True)
+        b = Tensor(rand((1,), 1), requires_grad=True)
+        check_gradients(lambda: (a * b).sum(), [a, b])
+
+    def test_sub_neg(self):
+        a = Tensor(rand((5,)), requires_grad=True)
+        b = Tensor(rand((5,), 1), requires_grad=True)
+        check_gradients(lambda: (a - b).sum(), [a, b])
+
+    def test_div(self):
+        a = Tensor(rand((4,)) + 3.0, requires_grad=True)
+        b = Tensor(rand((4,), 1) + 3.0, requires_grad=True)
+        check_gradients(lambda: (a / b).sum(), [a, b])
+
+    def test_pow(self):
+        a = Tensor(np.abs(rand((4,))) + 1.0, requires_grad=True)
+        check_gradients(lambda: (a ** 3).sum(), [a])
+
+    def test_rsub_rdiv(self):
+        a = Tensor(rand((3,)) + 2.0, requires_grad=True)
+        check_gradients(lambda: (1.0 - a).sum(), [a])
+        check_gradients(lambda: (1.0 / a).sum(), [a])
+
+
+class TestMatmulGradients:
+    def test_matrix_matrix(self):
+        a = Tensor(rand((3, 4)), requires_grad=True)
+        b = Tensor(rand((4, 5), 1), requires_grad=True)
+        check_gradients(lambda: a.matmul(b).sum(), [a, b])
+
+    def test_vector_matrix(self):
+        a = Tensor(rand((4,)), requires_grad=True)
+        b = Tensor(rand((4, 5), 1), requires_grad=True)
+        check_gradients(lambda: a.matmul(b).sum(), [a, b])
+
+    def test_matrix_vector(self):
+        a = Tensor(rand((3, 4)), requires_grad=True)
+        b = Tensor(rand((4,), 1), requires_grad=True)
+        check_gradients(lambda: a.matmul(b).sum(), [a, b])
+
+
+class TestNonlinearityGradients:
+    @pytest.mark.parametrize("op", ["tanh", "sigmoid", "exp"])
+    def test_smooth_ops(self, op):
+        a = Tensor(rand((3, 3)), requires_grad=True)
+        check_gradients(lambda: getattr(a, op)().sum(), [a])
+
+    def test_relu_away_from_kink(self):
+        a = Tensor(rand((10,)) + 5.0, requires_grad=True)
+        check_gradients(lambda: a.relu().sum(), [a])
+
+    def test_log(self):
+        a = Tensor(np.abs(rand((4,))) + 1.0, requires_grad=True)
+        check_gradients(lambda: a.log().sum(), [a])
+
+    def test_sigmoid_extreme_values_stable(self):
+        a = Tensor([-800.0, 800.0])
+        out = a.sigmoid()
+        assert np.all(np.isfinite(out.data))
+        np.testing.assert_allclose(out.data, [0.0, 1.0], atol=1e-12)
+
+
+class TestReductionsAndShape:
+    def test_sum_axis_keepdims(self):
+        a = Tensor(rand((3, 4)), requires_grad=True)
+        check_gradients(lambda: (a.sum(axis=0) ** 2).sum(), [a])
+        check_gradients(lambda: (a.sum(axis=1, keepdims=True) ** 2).sum(), [a])
+
+    def test_mean(self):
+        a = Tensor(rand((3, 4)), requires_grad=True)
+        check_gradients(lambda: (a.mean(axis=1) ** 2).sum(), [a])
+        assert np.isclose(a.mean().item(), a.data.mean())
+
+    def test_reshape(self):
+        a = Tensor(rand((3, 4)), requires_grad=True)
+        check_gradients(lambda: (a.reshape(12) ** 2).sum(), [a])
+
+    def test_transpose(self):
+        a = Tensor(rand((3, 4)), requires_grad=True)
+        check_gradients(lambda: (a.T.matmul(Tensor(rand((3, 2), 1)))).sum(), [a])
+
+    def test_getitem_row(self):
+        a = Tensor(rand((5, 3)), requires_grad=True)
+        check_gradients(lambda: (a[2] ** 2).sum(), [a])
+
+    def test_getitem_fancy(self):
+        a = Tensor(rand((5, 3)), requires_grad=True)
+        idx = np.array([0, 2, 2, 4])
+        check_gradients(lambda: (a[idx] ** 2).sum(), [a])
+
+    def test_take_rows_repeated_indices_accumulate(self):
+        a = Tensor(rand((4, 2)), requires_grad=True)
+        out = a.take_rows([1, 1, 1]).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad[1], [3.0, 3.0])
+        np.testing.assert_allclose(a.grad[0], [0.0, 0.0])
+
+
+class TestCombinators:
+    def test_concat(self):
+        a = Tensor(rand((2, 3)), requires_grad=True)
+        b = Tensor(rand((2, 5), 1), requires_grad=True)
+        check_gradients(lambda: (Tensor.concat([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_stack(self):
+        a = Tensor(rand((3,)), requires_grad=True)
+        b = Tensor(rand((3,), 1), requires_grad=True)
+        check_gradients(lambda: (Tensor.stack([a, b]) ** 2).sum(), [a, b])
+
+    def test_add_n(self):
+        parts = [Tensor(rand((2, 2), s), requires_grad=True) for s in range(4)]
+        check_gradients(lambda: (Tensor.add_n(parts) ** 2).sum(), parts)
+
+    def test_add_n_empty_raises(self):
+        with pytest.raises(ValueError):
+            Tensor.add_n([])
+
+
+class TestGraphReuse:
+    def test_diamond_graph_accumulates(self):
+        # y = x*x + x*x must give dy/dx = 4x.
+        x = Tensor([3.0], requires_grad=True)
+        y = x * x + x * x
+        y.backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_shared_subexpression(self):
+        x = Tensor([2.0], requires_grad=True)
+        s = x * 3
+        y = (s * s).sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, [2 * 3 * 3 * 2.0])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=4),
+    cols=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_chain_rule_linear_tanh(rows, cols, seed):
+    """d/dW of sum(tanh(x W)) matches finite differences for random shapes."""
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(rows, cols)))
+    w = Tensor(rng.normal(size=(cols, 3)), requires_grad=True)
+    loss = x.matmul(w).tanh().sum()
+    loss.backward()
+
+    from ..helpers import numeric_grad
+
+    expected = numeric_grad(
+        lambda: float(x.matmul(Tensor(w.data)).tanh().sum().data), w.data
+    )
+    np.testing.assert_allclose(w.grad, expected, atol=1e-5, rtol=1e-4)

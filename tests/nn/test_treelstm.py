@@ -1,0 +1,267 @@
+"""Tests for the child-sum tree-LSTM: schedules, equations, gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import ChildSumTreeLSTM, LSTM, Tensor, TreeLSTMStack, TreeSchedule
+
+from ..helpers import check_gradients, numeric_grad
+
+
+def chain_children(n):
+    """Children lists for a chain 0 <- 1 <- ... (node 0 is root)."""
+    return [[i + 1] if i + 1 < n else [] for i in range(n)]
+
+
+def star_children(n):
+    """Node 0 is root with n-1 leaf children."""
+    return [list(range(1, n))] + [[] for _ in range(n - 1)]
+
+
+class TestTreeSchedule:
+    def test_chain_levels(self):
+        sched = TreeSchedule(chain_children(4))
+        assert sched.roots.tolist() == [0]
+        assert len(sched.up_levels) == 4
+        # Leaf (node 3) is processed first, root last.
+        assert sched.up_levels[0][0].tolist() == [3]
+        assert sched.up_levels[-1][0].tolist() == [0]
+
+    def test_star_levels(self):
+        sched = TreeSchedule(star_children(5))
+        assert len(sched.up_levels) == 2
+        assert sorted(sched.up_levels[0][0].tolist()) == [1, 2, 3, 4]
+
+    def test_down_levels_start_at_root(self):
+        sched = TreeSchedule(chain_children(3))
+        nodes, parents = sched.down_levels[0]
+        assert nodes.tolist() == [0]
+        assert parents.tolist() == [-1]
+
+    def test_rejects_two_parents(self):
+        with pytest.raises(ValueError, match="two parents"):
+            TreeSchedule([[1], [2], [], [2]])
+
+    def test_rejects_self_child(self):
+        with pytest.raises(ValueError, match="own child"):
+            TreeSchedule([[0]])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(ValueError):
+            TreeSchedule([[1], [0]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TreeSchedule([])
+
+    def test_rejects_out_of_range_child(self):
+        with pytest.raises(ValueError, match="out of range"):
+            TreeSchedule([[5], []])
+
+    def test_forest_has_multiple_roots(self):
+        sched = TreeSchedule([[1], [], [3], []])
+        assert sorted(sched.roots.tolist()) == [0, 2]
+
+
+class TestChildSumEquations:
+    def test_leaf_matches_lstm_step(self):
+        """A single-node tree is one LSTM step from a zero state."""
+        rng = np.random.default_rng(7)
+        cell = ChildSumTreeLSTM(4, 3, rng=rng)
+        x = Tensor(rng.normal(size=(1, 4)))
+        h, c = cell(x, TreeSchedule([[]]))
+
+        # Manual equation-4 computation with no children.
+        xv = x.data[0]
+        iou = cell.w_iou.data @ xv + cell.b_iou.data
+        i = 1 / (1 + np.exp(-iou[0:3]))
+        o = 1 / (1 + np.exp(-iou[3:6]))
+        u = np.tanh(iou[6:9])
+        c_exp = i * u
+        h_exp = o * np.tanh(c_exp)
+        np.testing.assert_allclose(h.data[0], h_exp, atol=1e-12)
+        np.testing.assert_allclose(c.data[0], c_exp, atol=1e-12)
+
+    def test_parent_aggregates_children_manual(self):
+        """Verify eq. 4 by hand on a root with two leaves."""
+        rng = np.random.default_rng(1)
+        cell = ChildSumTreeLSTM(2, 2, rng=rng)
+        children = [[1, 2], [], []]
+        x = Tensor(rng.normal(size=(3, 2)))
+        h, c = cell(x, TreeSchedule(children))
+
+        def sig(v):
+            return 1 / (1 + np.exp(-v))
+
+        def leaf(xv):
+            iou = cell.w_iou.data @ xv + cell.b_iou.data
+            i, o, u = sig(iou[0:2]), sig(iou[2:4]), np.tanh(iou[4:6])
+            cc = i * u
+            return o * np.tanh(cc), cc
+
+        h1, c1 = leaf(x.data[1])
+        h2, c2 = leaf(x.data[2])
+        h_tilde = h1 + h2
+        iou = cell.w_iou.data @ x.data[0] + cell.u_iou.data @ h_tilde + cell.b_iou.data
+        i, o, u = sig(iou[0:2]), sig(iou[2:4]), np.tanh(iou[4:6])
+        f1 = sig(cell.w_f.data @ x.data[0] + cell.u_f.data @ h1 + cell.b_f.data)
+        f2 = sig(cell.w_f.data @ x.data[0] + cell.u_f.data @ h2 + cell.b_f.data)
+        c0 = i * u + f1 * c1 + f2 * c2
+        h0 = o * np.tanh(c0)
+        np.testing.assert_allclose(c.data[0], c0, atol=1e-10)
+        np.testing.assert_allclose(h.data[0], h0, atol=1e-10)
+
+    def test_child_order_invariance(self):
+        """Child-sum aggregation must not depend on sibling order."""
+        rng = np.random.default_rng(3)
+        cell = ChildSumTreeLSTM(3, 4, rng=rng)
+        x = rng.normal(size=(4, 3))
+        h1, _ = cell(Tensor(x), TreeSchedule([[1, 2, 3], [], [], []]))
+        h2, _ = cell(Tensor(x), TreeSchedule([[3, 2, 1], [], [], []]))
+        np.testing.assert_allclose(h1.data[0], h2.data[0], atol=1e-12)
+
+    def test_chain_tree_matches_sequential_lstm(self):
+        """On a chain, child-sum tree-LSTM == sequential LSTM (same weights).
+
+        The chain 0 <- 1 <- 2 processes node 2 first, like the t=0 step.
+        """
+        rng = np.random.default_rng(5)
+        n, d, hs = 5, 3, 4
+        cell = ChildSumTreeLSTM(d, hs, rng=rng)
+        lstm = LSTM(d, hs, rng=np.random.default_rng(99))
+        # Copy tree weights into the sequential cell (gate order differs:
+        # tree uses [i,o,u]+separate f; seq uses [i,f,o,u]).
+        lstm.cell.w_x.data[0 * hs:1 * hs] = cell.w_iou.data[0 * hs:1 * hs]
+        lstm.cell.w_x.data[1 * hs:2 * hs] = cell.w_f.data
+        lstm.cell.w_x.data[2 * hs:3 * hs] = cell.w_iou.data[1 * hs:2 * hs]
+        lstm.cell.w_x.data[3 * hs:4 * hs] = cell.w_iou.data[2 * hs:3 * hs]
+        lstm.cell.w_h.data[0 * hs:1 * hs] = cell.u_iou.data[0 * hs:1 * hs]
+        lstm.cell.w_h.data[1 * hs:2 * hs] = cell.u_f.data
+        lstm.cell.w_h.data[2 * hs:3 * hs] = cell.u_iou.data[1 * hs:2 * hs]
+        lstm.cell.w_h.data[3 * hs:4 * hs] = cell.u_iou.data[2 * hs:3 * hs]
+        lstm.cell.bias.data[0 * hs:1 * hs] = cell.b_iou.data[0 * hs:1 * hs]
+        lstm.cell.bias.data[1 * hs:2 * hs] = cell.b_f.data
+        lstm.cell.bias.data[2 * hs:3 * hs] = cell.b_iou.data[1 * hs:2 * hs]
+        lstm.cell.bias.data[3 * hs:4 * hs] = cell.b_iou.data[2 * hs:3 * hs]
+
+        x = rng.normal(size=(n, d))
+        h_tree, _ = cell(Tensor(x), TreeSchedule(chain_children(n)))
+        # Sequence order: last chain node first.
+        _, (h_final, _) = lstm(Tensor(x[::-1].copy()))
+        np.testing.assert_allclose(h_tree.data[0], h_final.data, atol=1e-10)
+
+    def test_gradients_small_tree(self):
+        rng = np.random.default_rng(11)
+        cell = ChildSumTreeLSTM(2, 3, rng=rng)
+        children = [[1, 2], [3], []]
+        children = [[1, 2], [3], [], []]
+        sched = TreeSchedule(children)
+        x = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        params = [cell.w_iou, cell.u_iou, cell.b_iou, cell.w_f, cell.u_f, cell.b_f, x]
+
+        def loss():
+            h, _ = cell(x, sched)
+            return (h[0] ** 2).sum()
+
+        check_gradients(loss, params, atol=1e-4, rtol=1e-3)
+
+    def test_downward_gradients(self):
+        rng = np.random.default_rng(13)
+        cell = ChildSumTreeLSTM(2, 2, rng=rng)
+        sched = TreeSchedule([[1, 2], [], []])
+        x = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+
+        def loss():
+            h, _ = cell(x, sched, direction="down")
+            return (h ** 2).sum()
+
+        check_gradients(loss, [x, cell.w_iou, cell.u_f], atol=1e-4, rtol=1e-3)
+
+    def test_invalid_direction(self):
+        cell = ChildSumTreeLSTM(2, 2)
+        with pytest.raises(ValueError):
+            cell(Tensor(np.zeros((1, 2))), TreeSchedule([[]]), direction="sideways")
+
+    def test_shape_mismatch(self):
+        cell = ChildSumTreeLSTM(2, 2)
+        with pytest.raises(ValueError):
+            cell(Tensor(np.zeros((2, 2))), TreeSchedule([[]]))
+
+
+class TestTreeLSTMStack:
+    @pytest.mark.parametrize("direction", ["uni", "bi", "alternating"])
+    @pytest.mark.parametrize("layers", [1, 2, 3])
+    def test_encode_shapes(self, direction, layers):
+        stack = TreeLSTMStack(4, 6, num_layers=layers, direction=direction,
+                              rng=np.random.default_rng(0))
+        sched = TreeSchedule([[1, 2], [3], [], []])
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 4)))
+        code_vec = stack.encode(x, sched)
+        assert code_vec.shape == (6,)
+
+    def test_bi_has_roughly_double_params_of_alternating(self):
+        """Paper: alternating has half the parameters of bi-directional."""
+        bi = TreeLSTMStack(8, 8, num_layers=3, direction="bi")
+        alt = TreeLSTMStack(8, 8, num_layers=3, direction="alternating")
+        assert bi.num_parameters() > 1.5 * alt.num_parameters()
+
+    def test_uni_layers_share_nothing(self):
+        stack = TreeLSTMStack(4, 4, num_layers=2, direction="uni")
+        names = {n for n, _ in stack.named_parameters()}
+        assert any(n.startswith("cell0") for n in names)
+        assert any(n.startswith("cell1") for n in names)
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            TreeLSTMStack(4, 4, direction="diagonal")
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            TreeLSTMStack(4, 4, num_layers=0)
+
+    def test_stack_is_trainable_end_to_end(self):
+        """One gradient step reduces a toy loss."""
+        rng = np.random.default_rng(42)
+        stack = TreeLSTMStack(3, 4, num_layers=2, direction="alternating", rng=rng)
+        sched = TreeSchedule([[1, 2], [], []])
+        x = Tensor(rng.normal(size=(3, 3)))
+        target = np.ones(4)
+
+        def compute_loss():
+            v = stack.encode(x, sched)
+            return ((v - Tensor(target)) ** 2).sum()
+
+        from repro.nn import SGD
+
+        opt = SGD(stack.parameters(), lr=0.1)
+        first = compute_loss()
+        first.backward()
+        opt.step()
+        opt.zero_grad()
+        second = compute_loss()
+        assert second.item() < first.item()
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 12))
+def test_property_random_tree_root_grad_matches_numeric(seed, n):
+    """For random trees, d(root h)/d(embedding) matches finite differences."""
+    rng = np.random.default_rng(seed)
+    # Random tree: parent of node i (>0) is uniform in [0, i).
+    children = [[] for _ in range(n)]
+    for i in range(1, n):
+        children[int(rng.integers(0, i))].append(i)
+    sched = TreeSchedule(children)
+    cell = ChildSumTreeLSTM(2, 2, rng=rng)
+    x = Tensor(rng.normal(size=(n, 2)), requires_grad=True)
+
+    h, _ = cell(x, sched)
+    loss = (h[0] ** 2).sum()
+    loss.backward()
+
+    expected = numeric_grad(
+        lambda: float((cell(Tensor(x.data), sched)[0][0] ** 2).sum().data), x.data
+    )
+    np.testing.assert_allclose(x.grad, expected, atol=1e-4, rtol=1e-3)

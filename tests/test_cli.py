@@ -1,0 +1,90 @@
+"""End-to-end CLI tests: collect -> stats -> train -> predict."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli")
+    db_path = root / "corpus.jsonl"
+    code = main(["collect", "--tags", "C", "--per-problem", "14",
+                 "--scale", "0.3", "--out", str(db_path)])
+    assert code == 0
+    return root, db_path
+
+
+class TestCollectAndStats:
+    def test_collect_writes_db(self, workspace):
+        _, db_path = workspace
+        assert db_path.exists()
+        lines = db_path.read_text().strip().splitlines()
+        assert len(lines) == 14
+
+    def test_stats_prints_table(self, workspace, capsys):
+        _, db_path = workspace
+        assert main(["stats", "--db", str(db_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Median(ms)" in out
+        assert "C" in out
+
+    def test_collect_mp(self, tmp_path):
+        out = tmp_path / "mp.jsonl"
+        assert main(["collect", "--tags", "MP", "--per-problem", "2",
+                     "--scale", "0.3", "--out", str(out)]) == 0
+        assert out.exists()
+
+
+class TestTrainAndPredict:
+    @pytest.fixture(scope="class")
+    def model_path(self, workspace):
+        root, db_path = workspace
+        model = root / "model.npz"
+        code = main(["train", "--db", str(db_path), "--tag", "C",
+                     "--encoder", "gcn", "--epochs", "5",
+                     "--pairs", "70", "--out", str(model)])
+        assert code == 0
+        return model
+
+    def test_train_writes_model_and_meta(self, model_path):
+        assert model_path.exists()
+        meta = json.loads(model_path.with_suffix(".json").read_text())
+        assert meta["encoder"] == "gcn"
+        assert 0.0 <= meta["accuracy"] <= 1.0
+
+    def test_predict_orders_fast_vs_slow(self, workspace, model_path, capsys):
+        root, db_path = workspace
+        from repro.corpus import SubmissionDatabase
+
+        db = SubmissionDatabase.load(db_path)
+        subs = sorted(db.submissions("C"), key=lambda s: s.mean_runtime_ms)
+        fast, slow = subs[0], subs[-1]
+        old_file = root / "old.cpp"
+        new_file = root / "new.cpp"
+        old_file.write_text(fast.source)
+        new_file.write_text(slow.source)
+        code = main(["predict", "--model", str(model_path),
+                     "--old", str(old_file), "--new", str(new_file)])
+        out = capsys.readouterr().out
+        assert "P(new version is slower)" in out
+        assert code in (0, 2)  # 2 == flagged
+
+    def test_predict_exit_code_semantics(self, workspace, model_path,
+                                         capsys):
+        root, db_path = workspace
+        from repro.corpus import SubmissionDatabase
+
+        db = SubmissionDatabase.load(db_path)
+        subs = sorted(db.submissions("C"), key=lambda s: s.mean_runtime_ms)
+        same = root / "same.cpp"
+        same.write_text(subs[0].source)
+        # Comparing a file to itself: probability should sit mid-range,
+        # and the command must not crash.
+        code = main(["predict", "--model", str(model_path),
+                     "--old", str(same), "--new", str(same),
+                     "--threshold", "0.99"])
+        assert code == 0  # not flagged at an extreme threshold

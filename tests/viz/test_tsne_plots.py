@@ -1,0 +1,91 @@
+"""Tests for t-SNE and the ASCII figure renderers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import (
+    box_summary, kind_category, line_plot, scatter_plot, table, tsne,
+)
+
+
+class TestTsne:
+    def test_output_shape(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(30, 8))
+        y = tsne(x, n_iter=120, seed=0)
+        assert y.shape == (30, 2)
+        assert np.all(np.isfinite(y))
+
+    def test_separates_well_separated_clusters(self):
+        """Two far-apart Gaussian clusters must stay separated in 2-D."""
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.0, 0.3, size=(20, 10))
+        b = rng.normal(8.0, 0.3, size=(20, 10))
+        y = tsne(np.vstack([a, b]), perplexity=8, n_iter=250, seed=1)
+        centroid_a = y[:20].mean(axis=0)
+        centroid_b = y[20:].mean(axis=0)
+        spread_a = np.linalg.norm(y[:20] - centroid_a, axis=1).mean()
+        spread_b = np.linalg.norm(y[20:] - centroid_b, axis=1).mean()
+        gap = np.linalg.norm(centroid_a - centroid_b)
+        assert gap > 2.0 * max(spread_a, spread_b)
+
+    def test_deterministic_for_seed(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(15, 5))
+        np.testing.assert_allclose(tsne(x, n_iter=100, seed=3),
+                                   tsne(x, n_iter=100, seed=3))
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            tsne(np.zeros((10, 3)), n_iter=10)
+
+
+class TestKindCategory:
+    def test_operations(self):
+        assert kind_category("op_add") == "operation"
+        assert kind_category("op_plus_plus") == "operation"
+
+    def test_literals_statements_expressions(self):
+        assert kind_category("lit_string") == "literal"
+        assert kind_category("for_stmt") == "statement"
+        assert kind_category("method_push_back") == "expression"
+
+    def test_support_fallback(self):
+        assert kind_category("root") == "support"
+        assert kind_category("type_int") == "support"
+
+
+class TestAsciiPlots:
+    def test_line_plot_contains_points(self):
+        art = line_plot([0, 1, 2, 3], [0.5, 0.6, 0.7, 0.9],
+                        title="accuracy", x_label="pairs", y_label="acc")
+        assert "accuracy" in art
+        assert "*" in art
+        assert "[0.500, 0.900]" in art
+
+    def test_line_plot_validation(self):
+        with pytest.raises(ValueError):
+            line_plot([1, 2], [1.0])
+
+    def test_scatter_legend(self):
+        points = np.array([[0, 0], [1, 1], [2, 0], [0, 2]])
+        art = scatter_plot(points, ["a", "a", "b", "b"], title="map")
+        assert "legend:" in art
+        assert "o=a" in art
+
+    def test_scatter_validation(self):
+        with pytest.raises(ValueError):
+            scatter_plot(np.zeros((3, 3)), ["a", "b", "c"])
+
+    def test_box_summary(self):
+        art = box_summary({"A": [1.0, 2.0, 3.0], "B": [4.0]})
+        assert "median" in art
+        assert "A" in art and "B" in art
+
+    def test_table_alignment(self):
+        art = table(["tag", "count"], [["A", 6616], ["B", 6099]])
+        lines = art.splitlines()
+        assert len(lines) == 4
+        assert "6616" in art
