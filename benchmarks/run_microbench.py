@@ -1,0 +1,49 @@
+"""Dump the perf microbenchmarks to a JSON artifact at the repo root.
+
+Runs ``benchmarks/test_perf_microbench.py`` under pytest-benchmark and
+writes the machine-readable results to ``BENCH_PR<n>.json`` so the
+repository carries a perf trajectory across PRs::
+
+    python benchmarks/run_microbench.py            # -> BENCH_PR1.json
+    python benchmarks/run_microbench.py --pr 2     # -> BENCH_PR2.json
+
+The first corpus build takes a couple of minutes; it is cached under
+``.corpus_cache/`` and subsequent runs reload in milliseconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pr", type=int, default=1,
+                        help="PR number used in the artifact name")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="explicit output path (overrides --pr)")
+    args = parser.parse_args()
+    out = args.out or REPO_ROOT / f"BENCH_PR{args.pr}.json"
+
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+    cmd = [sys.executable, "-m", "pytest",
+           str(REPO_ROOT / "benchmarks" / "test_perf_microbench.py"),
+           "-q", f"--benchmark-json={out}"]
+    print("+", " ".join(cmd))
+    result = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+    if result.returncode == 0 and out.exists():
+        print(f"wrote {out}")
+    return result.returncode
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,8 @@ asserts structural validity and the in-domain learnability floor, and
 
 import numpy as np
 
+import pytest
+
 from repro.core import (
     AbsoluteRuntimeRegressor, LoopNestingHeuristic, NodeCountHeuristic,
     WeightedConstructHeuristic, baseline_accuracy,
@@ -23,6 +25,10 @@ from repro.experiments import train_problem_model
 from repro.viz import table
 
 from .conftest import write_result
+
+# Builds/loads the full bench corpora and trains real models: minutes on
+# a cold cache, so excluded from the CI benchmark smoke pass (-m "not slow").
+pytestmark = pytest.mark.slow
 
 
 def run_ablation(table1_db, profile, train_tag="C", transfer_tag="A",

@@ -12,9 +12,15 @@ of the runtime delta.
 
 import numpy as np
 
+import pytest
+
 from repro.experiments import run_fig3
 
 from .conftest import write_result
+
+# Builds/loads the full bench corpora and trains real models: minutes on
+# a cold cache, so excluded from the CI benchmark smoke pass (-m "not slow").
+pytestmark = pytest.mark.slow
 
 
 def test_fig3_treelstm_vs_gcn(benchmark, table1_db, mp_db, profile,

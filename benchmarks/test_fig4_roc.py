@@ -8,9 +8,15 @@ developers.
 
 import numpy as np
 
+import pytest
+
 from repro.experiments import run_fig4
 
 from .conftest import write_result
+
+# Builds/loads the full bench corpora and trains real models: minutes on
+# a cold cache, so excluded from the CI benchmark smoke pass (-m "not slow").
+pytestmark = pytest.mark.slow
 
 
 def test_fig4_roc_alternating_treelstm(benchmark, table1_db, profile,

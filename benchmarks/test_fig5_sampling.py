@@ -12,9 +12,15 @@ dip in (b) is a soft trend the paper itself calls noisy, so it is only
 reported, not asserted.
 """
 
+import pytest
+
 from repro.experiments import run_fig5
 
 from .conftest import write_result
+
+# Builds/loads the full bench corpora and trains real models: minutes on
+# a cold cache, so excluded from the CI benchmark smoke pass (-m "not slow").
+pytestmark = pytest.mark.slow
 
 
 def test_fig5_sampling_and_augmentation(benchmark, table1_db, profile,

@@ -8,9 +8,15 @@ second-scale gaps).
 
 import numpy as np
 
+import pytest
+
 from repro.experiments import run_fig6
 
 from .conftest import write_result
+
+# Builds/loads the full bench corpora and trains real models: minutes on
+# a cold cache, so excluded from the CI benchmark smoke pass (-m "not slow").
+pytestmark = pytest.mark.slow
 
 
 def test_fig6_gap_sensitivity(benchmark, table1_db, profile, results_dir):

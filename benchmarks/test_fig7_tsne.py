@@ -8,10 +8,15 @@ must exceed 1, and the projections must be finite and 2-D.
 """
 
 import numpy as np
+import pytest
 
 from repro.experiments import run_fig7
 
 from .conftest import write_result
+
+# Builds/loads the full bench corpora and trains real models: minutes on
+# a cold cache, so excluded from the CI benchmark smoke pass (-m "not slow").
+pytestmark = pytest.mark.slow
 
 
 def test_fig7_embedding_projections(benchmark, table1_db, profile,

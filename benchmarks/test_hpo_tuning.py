@@ -6,9 +6,15 @@ vs tree-LSTM 73%): even a tuned GCN does not decisively beat the
 tree-LSTM.
 """
 
+import pytest
+
 from repro.experiments import run_hpo
 
 from .conftest import write_result
+
+# Builds/loads the full bench corpora and trains real models: minutes on
+# a cold cache, so excluded from the CI benchmark smoke pass (-m "not slow").
+pytestmark = pytest.mark.slow
 
 
 def test_hpo_gcn_vs_treelstm(benchmark, table1_db, profile, results_dir):

@@ -6,9 +6,15 @@ to verify: tag H is tiny, A/B/D are large, and every tag shows enough
 runtime variance to learn from.
 """
 
+import pytest
+
 from repro.experiments import run_table1
 
 from .conftest import write_result
+
+# Builds/loads the full bench corpora and trains real models: minutes on
+# a cold cache, so excluded from the CI benchmark smoke pass (-m "not slow").
+pytestmark = pytest.mark.slow
 
 
 def test_table1_dataset_statistics(benchmark, table1_db, results_dir):

@@ -8,9 +8,15 @@ and the diagonal stays strong.
 
 import numpy as np
 
+import pytest
+
 from repro.experiments import run_table2
 
 from .conftest import write_result
+
+# Builds/loads the full bench corpora and trains real models: minutes on
+# a cold cache, so excluded from the CI benchmark smoke pass (-m "not slow").
+pytestmark = pytest.mark.slow
 
 
 def test_table2_dfs_group_matrix(benchmark, table1_db, profile, results_dir):

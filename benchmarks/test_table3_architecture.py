@@ -9,9 +9,15 @@ at half the parameters).
 
 import numpy as np
 
+import pytest
+
 from repro.experiments import run_table3
 
 from .conftest import write_result
+
+# Builds/loads the full bench corpora and trains real models: minutes on
+# a cold cache, so excluded from the CI benchmark smoke pass (-m "not slow").
+pytestmark = pytest.mark.slow
 
 
 def test_table3_architectural_choices(benchmark, table1_db, profile,

@@ -15,7 +15,7 @@ from .encoders import GcnEncoder, TreeLstmEncoder
 from .evaluate import (
     EvalResult, cross_problem_matrix, evaluate_on_pairs, sensitivity_curve,
 )
-from .features import TreeFeatures, TreeFeaturizer
+from .features import ForestFeatures, TreeFeatures, TreeFeaturizer, pack_forest
 from .metrics import RocCurve, accuracy, auc, confusion, roc_curve
 from .model import ComparativeModel, build_model
 from .pipeline import (
@@ -24,7 +24,7 @@ from .pipeline import (
 from .trainer import TrainConfig, TrainHistory, Trainer
 
 __all__ = [
-    "TreeFeatures", "TreeFeaturizer",
+    "TreeFeatures", "TreeFeaturizer", "ForestFeatures", "pack_forest",
     "TreeLstmEncoder", "GcnEncoder", "PairClassifier",
     "ComparativeModel", "build_model",
     "TrainConfig", "TrainHistory", "Trainer",

@@ -37,5 +37,16 @@ class PairClassifier(Module):
             joint = self.pre(joint).tanh()
         return self.out(joint)[0]
 
+    def logits(self, z_i: Tensor, z_j: Tensor) -> Tensor:
+        """Batched raw scores: ``z_i``/``z_j`` are (B, d), returns (B,).
+
+        Row ``b`` equals ``logit(z_i[b], z_j[b])`` — the whole batch
+        goes through the head in one GEMM.
+        """
+        joint = Tensor.concat([z_i, z_j], axis=1)
+        if self.pre is not None:
+            joint = self.pre(joint).tanh()
+        return self.out(joint).reshape(-1)
+
     def probability(self, z_i: Tensor, z_j: Tensor) -> Tensor:
         return self.logit(z_i, z_j).sigmoid()

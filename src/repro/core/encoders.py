@@ -15,7 +15,7 @@ from ..nn.layers import Embedding
 from ..nn.module import Module
 from ..nn.tensor import Tensor
 from ..nn.treelstm import TreeLSTMStack
-from .features import TreeFeatures
+from .features import TreeFeatures, pack_forest
 
 __all__ = ["TreeLstmEncoder", "GcnEncoder"]
 
@@ -44,6 +44,17 @@ class TreeLstmEncoder(Module):
         x = self.embedding(features.node_ids)
         return self.stack.encode(x, features.schedule)
 
+    def encode_batch(self, features_list: list[TreeFeatures]) -> Tensor:
+        """Latent vectors for a whole batch, (T, hidden), in ONE pass.
+
+        The batch is packed into a fused forest (one embedding lookup,
+        one level-batched tree-LSTM sweep, one root gather) — this is
+        the hot path for training and bulk evaluation.
+        """
+        packed = pack_forest(features_list)
+        x = self.embedding(packed.node_ids)
+        return self.stack.root_states(x, packed.schedule)
+
     def node_states(self, features: TreeFeatures) -> Tensor:
         """All node hidden states, for visualization (Fig. 7)."""
         x = self.embedding(features.node_ids)
@@ -67,6 +78,19 @@ class GcnEncoder(Module):
     def forward(self, features: TreeFeatures) -> Tensor:
         x = self.embedding(features.node_ids)
         return self.gcn.encode(x, features.adjacency, root=features.root)
+
+    def encode_batch(self, features_list: list[TreeFeatures]) -> Tensor:
+        """Latent vectors for a whole batch, (T, hidden).
+
+        Same batched-encode API as :class:`TreeLstmEncoder`: one fused
+        embedding lookup and per-layer weight GEMM across the batch;
+        only the dense per-graph adjacency propagation loops.
+        """
+        node_ids = np.concatenate([f.node_ids for f in features_list])
+        x = self.embedding(node_ids)
+        return self.gcn.encode_batch(x,
+                                     [f.adjacency for f in features_list],
+                                     [f.root for f in features_list])
 
     def node_states(self, features: TreeFeatures) -> Tensor:
         x = self.embedding(features.node_ids)

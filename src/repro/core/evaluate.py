@@ -30,13 +30,17 @@ class EvalResult:
     num_pairs: int
 
 
-def evaluate_on_pairs(trainer: Trainer, pairs: list[CodePair]) -> EvalResult:
+def evaluate_on_pairs(trainer: Trainer, pairs: list[CodePair],
+                      batch_size: int | None = None) -> EvalResult:
+    """Accuracy/AUC over ``pairs``; probabilities are computed with the
+    forest-batched inference path (``batch_size`` pairs per fused
+    encode, defaulting to the trainer's ``eval_batch_size``)."""
     from .metrics import accuracy as accuracy_fn
     from .metrics import auc as auc_fn
 
     if not pairs:
         raise ValueError("no evaluation pairs")
-    probs = trainer.predict_probabilities(pairs)
+    probs = trainer.predict_probabilities(pairs, batch_size=batch_size)
     labels = np.array([p.label for p in pairs])
     return EvalResult(accuracy=accuracy_fn(labels, probs),
                       auc=auc_fn(labels, probs),

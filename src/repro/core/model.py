@@ -29,6 +29,20 @@ class ComparativeModel(Module):
         z_j = self.encoder(second)
         return self.classifier.logit(z_i, z_j)
 
+    def pair_logits(self, pairs: list[tuple[TreeFeatures, TreeFeatures]]) -> Tensor:
+        """Batched logits, (B,): all 2B trees encoded in ONE fused pass.
+
+        This is the training/eval hot path: the whole batch shares one
+        forward (and, during training, one backward) graph instead of 2B
+        separate encoder invocations. Row ``b`` is numerically
+        equivalent to ``pair_logit(*pairs[b])``.
+        """
+        if not pairs:
+            raise ValueError("pair_logits requires at least one pair")
+        feats = [f for pair in pairs for f in pair]
+        z = self.encoder.encode_batch(feats)      # (2B, d), interleaved
+        return self.classifier.logits(z[0::2], z[1::2])
+
     def pair_logit_from_source(self, source_i: str, source_j: str) -> Tensor:
         return self.pair_logit(self.featurizer(source_i),
                                self.featurizer(source_j))
@@ -48,6 +62,21 @@ class ComparativeModel(Module):
         """Latent code vector for one source (for Fig. 7 and reuse)."""
         with no_grad():
             return self.encoder(self.featurizer(source)).data.copy()
+
+    def embed_batch(self, sources: list[str], batch_size: int = 64) -> np.ndarray:
+        """Latent code vectors for many sources, (T, d), forest-batched."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if not sources:
+            return np.zeros((0, self.encoder.output_size))
+        out = np.empty((len(sources), self.encoder.output_size))
+        with no_grad():
+            for start in range(0, len(sources), batch_size):
+                chunk = sources[start:start + batch_size]
+                feats = [self.featurizer(s) for s in chunk]
+                out[start:start + len(chunk)] = \
+                    self.encoder.encode_batch(feats).data
+        return out
 
 
 def build_model(encoder_kind: str = "treelstm", vocab_size: int | None = None,

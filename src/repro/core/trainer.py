@@ -1,4 +1,15 @@
-"""Training loop: mini-batch BCE over code pairs (paper Section IV-D)."""
+"""Training loop: mini-batch BCE over code pairs (paper Section IV-D).
+
+Forest-batched training: each mini-batch's 2B trees are packed into one
+fused forest (:func:`repro.core.features.pack_forest`) and encoded by a
+single level-batched tree-LSTM sweep, so every optimizer step builds ONE
+forward+backward graph instead of 2B per-tree graphs. Featurization and
+tree scheduling happen once up front (``Trainer.fit`` prepares the pairs
+before the epoch loop, and schedules are memoized by tree structure), so
+epochs only pay for the numerics. Bulk inference
+(:meth:`Trainer.predict_probabilities`) batches the same way under
+``no_grad``.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..data.batching import iter_batches
+from ..data.batching import iter_index_batches
 from ..data.pairs import CodePair
 from ..nn.loss import bce_with_logits
 from ..nn.optim import Adam, clip_grad_norm
@@ -25,6 +36,7 @@ class TrainConfig:
     seed: int = 0
     early_stop_patience: int = 0   # 0 disables early stopping
     verbose: bool = False
+    eval_batch_size: int = 64      # forest size for bulk inference
 
 
 @dataclass
@@ -51,9 +63,11 @@ class Trainer:
                  p.label) for p in pairs]
 
     def _batch_loss(self, batch) -> Tensor:
-        logits = [self.model.pair_logit(fi, fj) for fi, fj, _ in batch]
+        # One fused forest encode for the whole batch: a single
+        # forward+backward graph instead of one per tree.
+        logits = self.model.pair_logits([(fi, fj) for fi, fj, _ in batch])
         targets = np.array([label for _, _, label in batch], dtype=float)
-        return bce_with_logits(Tensor.stack(logits, axis=0), targets)
+        return bce_with_logits(logits, targets)
 
     # ------------------------------------------------------------------
     def fit(self, train_pairs: list[CodePair],
@@ -68,12 +82,11 @@ class Trainer:
         patience_left = cfg.early_stop_patience
 
         for epoch in range(cfg.epochs):
-            order = np.arange(len(prepared))
-            rng.shuffle(order)
             epoch_loss = 0.0
             batches = 0
-            for start in range(0, len(prepared), cfg.batch_size):
-                batch = [prepared[int(k)] for k in order[start:start + cfg.batch_size]]
+            for idx in iter_index_batches(len(prepared), cfg.batch_size,
+                                          rng=rng, shuffle=True):
+                batch = [prepared[int(k)] for k in idx]
                 self.optimizer.zero_grad()
                 loss = self._batch_loss(batch)
                 loss.backward()
@@ -104,15 +117,25 @@ class Trainer:
         return history
 
     # ------------------------------------------------------------------
-    def predict_probabilities(self, pairs: list[CodePair]) -> np.ndarray:
-        probs = []
+    def predict_probabilities(self, pairs: list[CodePair],
+                              batch_size: int | None = None) -> np.ndarray:
+        """P(label=1) for every pair, forest-batched under ``no_grad``."""
+        if not pairs:
+            return np.zeros(0)
+        if batch_size is None:
+            batch_size = self.config.eval_batch_size
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        featurize = self.model.featurizer
+        probs = np.empty(len(pairs))
         with no_grad():
-            for pair in pairs:
-                fi = self.model.featurizer(pair.first.source)
-                fj = self.model.featurizer(pair.second.source)
-                probs.append(float(self.model.pair_logit(fi, fj)
-                                   .sigmoid().data))
-        return np.asarray(probs)
+            for start in range(0, len(pairs), batch_size):
+                chunk = pairs[start:start + batch_size]
+                feats = [(featurize(p.first.source), featurize(p.second.source))
+                         for p in chunk]
+                logits = self.model.pair_logits(feats)
+                probs[start:start + len(chunk)] = logits.sigmoid().data
+        return probs
 
     def evaluate_accuracy(self, pairs: list[CodePair],
                           threshold: float = 0.5) -> float:

@@ -8,19 +8,32 @@ import numpy as np
 
 from .pairs import CodePair
 
-__all__ = ["iter_batches"]
+__all__ = ["iter_batches", "iter_index_batches"]
+
+
+def iter_index_batches(n: int, batch_size: int,
+                       rng: np.random.Generator | None = None,
+                       shuffle: bool = True) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(n)`` in mini-batches.
+
+    The generic core of mini-batching: callers gather their own items
+    (pairs, featurized pairs, packed forests) from the yielded indices.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(n)
+    if shuffle:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        rng.shuffle(order)
+    for start in range(0, n, batch_size):
+        yield order[start:start + batch_size]
 
 
 def iter_batches(pairs: list[CodePair], batch_size: int,
                  rng: np.random.Generator | None = None,
                  shuffle: bool = True) -> Iterator[list[CodePair]]:
     """Yield batches; shuffles a copy when requested."""
-    if batch_size < 1:
-        raise ValueError("batch_size must be positive")
-    order = np.arange(len(pairs))
-    if shuffle:
-        if rng is None:
-            rng = np.random.default_rng(0)
-        rng.shuffle(order)
-    for start in range(0, len(pairs), batch_size):
-        yield [pairs[int(k)] for k in order[start:start + batch_size]]
+    for idx in iter_index_batches(len(pairs), batch_size, rng=rng,
+                                  shuffle=shuffle):
+        yield [pairs[int(k)] for k in idx]

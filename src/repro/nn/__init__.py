@@ -22,13 +22,15 @@ from .optim import SGD, AdaGrad, Adam, Optimizer, RMSProp, StepLR, clip_grad_nor
 from .rnn import LSTM, LSTMCell
 from .serialize import load_module, load_state, save_module, save_state
 from .tensor import Tensor, no_grad
-from .treelstm import DIRECTIONS, ChildSumTreeLSTM, TreeLSTMStack, TreeSchedule
+from .treelstm import (DIRECTIONS, ChildSumTreeLSTM, ForestSchedule,
+                       TreeLSTMStack, TreeSchedule, schedule_for)
 
 __all__ = [
     "Tensor", "no_grad", "Module", "Parameter", "functional",
     "Linear", "Embedding", "Dropout", "Sequential", "Tanh", "ReLU", "Sigmoid",
     "LSTM", "LSTMCell",
-    "ChildSumTreeLSTM", "TreeLSTMStack", "TreeSchedule", "DIRECTIONS",
+    "ChildSumTreeLSTM", "TreeLSTMStack", "TreeSchedule", "ForestSchedule",
+    "schedule_for", "DIRECTIONS",
     "GCN", "GraphConv", "normalized_adjacency",
     "bce_with_logits", "binary_cross_entropy", "cross_entropy", "mse_loss",
     "Optimizer", "SGD", "Adam", "AdaGrad", "RMSProp", "StepLR", "clip_grad_norm",

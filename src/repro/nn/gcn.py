@@ -56,6 +56,26 @@ class GraphConv(Module):
 
     def forward(self, h: Tensor, adj_norm: np.ndarray) -> Tensor:
         out = Tensor(adj_norm).matmul(h).matmul(self.weight.T) + self.bias
+        return self._activate(out)
+
+    def forward_packed(self, h: Tensor, adjs: list[np.ndarray],
+                       offsets: np.ndarray) -> Tensor:
+        """Batched convolution over several graphs packed row-wise.
+
+        ``h`` stacks all graphs' node features; graph ``g`` owns rows
+        ``[offsets[g], offsets[g+1])``. The weight projection runs as a
+        single fused GEMM over every node in the batch (``Â(HW)`` —
+        associativity-equivalent to the per-graph ``(ÂH)W``); only the
+        per-graph adjacency propagation loops, since the block-diagonal
+        batch adjacency would be dense O(N_total²).
+        """
+        hw = h.matmul(self.weight.T)
+        parts = [Tensor(adj).matmul(hw[int(a):int(b)])
+                 for adj, a, b in zip(adjs, offsets[:-1], offsets[1:])]
+        out = Tensor.concat(parts, axis=0) + self.bias
+        return self._activate(out)
+
+    def _activate(self, out: Tensor) -> Tensor:
         if self.activation == "relu":
             return out.relu()
         if self.activation == "tanh":
@@ -99,6 +119,9 @@ class GCN(Module):
 
     def encode(self, x: Tensor, adj_norm: np.ndarray, root: int = 0) -> Tensor:
         h = self.forward(x, adj_norm)
+        return self._readout(h, root)
+
+    def _readout(self, h: Tensor, root: int) -> Tensor:
         if self.readout == "root":
             return h[root]
         mean = h.mean(axis=0)
@@ -109,3 +132,26 @@ class GCN(Module):
         mx = ((h - Tensor(h.data.max(axis=0))).exp().sum(axis=0)).log() \
             + Tensor(h.data.max(axis=0))
         return Tensor.concat([mean, mx], axis=0)
+
+    def encode_batch(self, x: Tensor, adjs: list[np.ndarray],
+                     roots: list[int]) -> Tensor:
+        """Code vectors for a batch of graphs packed row-wise, (T, d).
+
+        Mirrors :meth:`repro.nn.treelstm.TreeLSTMStack.root_states`: the
+        per-layer weight projections run as one fused GEMM across the
+        whole batch (see :meth:`GraphConv.forward_packed`); only the
+        adjacency propagation and the cheap readout remain per-graph.
+        """
+        sizes = [adj.shape[0] for adj in adjs]
+        offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(sizes, dtype=np.int64)])
+        if x.shape[0] != int(offsets[-1]):
+            raise ValueError(
+                f"feature rows ({x.shape[0]}) != total graph nodes ({int(offsets[-1])})"
+            )
+        h = x
+        for name in self._layer_names:
+            h = self._modules[name].forward_packed(h, adjs, offsets)
+        codes = [self._readout(h[int(a):int(b)], root)
+                 for a, b, root in zip(offsets[:-1], offsets[1:], roots)]
+        return Tensor.stack(codes, axis=0)

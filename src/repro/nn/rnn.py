@@ -75,12 +75,19 @@ class LSTM(Module):
         self.hidden_size = hidden_size
 
     def forward(self, xs: Tensor) -> tuple[Tensor, tuple[Tensor, Tensor]]:
-        """Run over ``xs`` of shape (seq_len, input_size).
+        """Run over ``xs`` of shape (seq_len, input_size) — or, batched,
+        (seq_len, batch, input_size): the same batched-encode API as the
+        tree/graph encoders, advancing every sequence of the batch in
+        one cell step per timestep.
 
-        Returns (stacked hidden states, (h_final, c_final)).
+        Returns (stacked hidden states, (h_final, c_final)); the stacked
+        states are (seq_len, hidden) or (seq_len, batch, hidden).
         """
-        if xs.ndim != 2:
-            raise ValueError("LSTM expects (seq_len, input_size) input")
+        if xs.ndim not in (2, 3):
+            raise ValueError(
+                "LSTM expects (seq_len, input_size) or "
+                "(seq_len, batch, input_size) input"
+            )
         state = None
         hs = []
         for t in range(xs.shape[0]):

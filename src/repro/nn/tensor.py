@@ -105,7 +105,11 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        if self.data.size != 1:
+            raise ValueError(
+                f"item() requires a single-element tensor, got shape {self.shape}"
+            )
+        return float(self.data.reshape(-1)[0])
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut from the graph."""
@@ -134,6 +138,24 @@ class Tensor:
         if self.grad is None:
             self.grad = np.zeros_like(self.data)
         self.grad += grad
+
+    def _accumulate_at(self, key, grad: np.ndarray) -> None:
+        """Sparse gradient accumulation: scatter-add ``grad`` at ``key``.
+
+        Gather-style ops (``take_rows``, ``__getitem__``, ``gather_rows``)
+        read only a few rows, so their backward must not pay a full
+        ``zeros_like`` + dense add per read. The zero buffer is allocated
+        once per backward sweep and every subsequent read scatters into
+        it directly — O(rows read) instead of O(tensor size).
+        """
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        keys = key if isinstance(key, tuple) else (key,)
+        if all(isinstance(k, (int, np.integer, slice)) for k in keys):
+            # Basic indexing cannot alias the same element twice.
+            self.grad[key] += grad
+        else:
+            np.add.at(self.grad, key, grad)
 
     # ------------------------------------------------------------------
     # arithmetic
@@ -351,24 +373,88 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                full = np.zeros_like(self.data)
-                np.add.at(full, key, grad)
-                self._accumulate(full)
+                self._accumulate_at(key, grad)
 
         return Tensor._make(np.array(out_data, copy=True), (self,), backward)
 
     def take_rows(self, indices) -> "Tensor":
-        """Gather rows (embedding lookup); gradient scatter-adds back."""
+        """Gather rows (embedding lookup); gradient scatter-adds back.
+
+        The backward pass uses the sparse accumulation fast path: it
+        scatters directly into ``self.grad`` instead of materialising a
+        dense ``zeros_like`` per read.
+        """
         idx = np.asarray(indices, dtype=np.int64)
         out_data = self.data[idx]
 
         def backward(grad):
             if self.requires_grad:
-                full = np.zeros_like(self.data)
-                np.add.at(full, idx, grad)
-                self._accumulate(full)
+                self._accumulate_at(idx, grad)
 
         return Tensor._make(out_data, (self,), backward)
+
+    def put_rows(self, indices, values: "Tensor") -> "Tensor":
+        """Out-of-place scatter write: ``out[indices] = values``.
+
+        Returns a new tensor equal to ``self`` except that row
+        ``indices[i]`` holds ``values[i]``. Indices must be unique —
+        with duplicates the forward keeps numpy's last-write-wins
+        semantics but gradients for the overwritten rows would be
+        double-counted, so duplicates are rejected.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        values = self._coerce(values)
+        if idx.ndim != 1:
+            raise ValueError("put_rows expects a 1-D index array")
+        if np.unique(idx).size != idx.size:
+            raise ValueError("put_rows indices must be unique")
+        out_data = self.data.copy()
+        out_data[idx] = values.data
+
+        def backward(grad):
+            if self.requires_grad:
+                g = grad.copy()
+                g[idx] = 0.0
+                self._accumulate(g)
+            if values.requires_grad:
+                values._accumulate(grad[idx])
+
+        return Tensor._make(out_data, (self, values), backward)
+
+    @staticmethod
+    def gather_rows(sources: list["Tensor"], source_ids, row_ids) -> "Tensor":
+        """Gather rows across several same-width tensors in one op.
+
+        ``out[e] = sources[source_ids[e]].data[row_ids[e]]``. This is the
+        multi-source companion of :meth:`take_rows`: the forest encoder
+        keeps one tensor of states per level, and fetching each node's
+        children (which live on arbitrary earlier levels) needs a single
+        graph node rather than one concat of all levels per lookup.
+        The backward scatters sparsely into each source that was read.
+        """
+        sources = tuple(Tensor._coerce(s) for s in sources)
+        if not sources:
+            raise ValueError("gather_rows requires at least one source")
+        src_ids = np.asarray(source_ids, dtype=np.int64)
+        row_idx = np.asarray(row_ids, dtype=np.int64)
+        if src_ids.shape != row_idx.shape or src_ids.ndim != 1:
+            raise ValueError("source_ids and row_ids must be equal-length 1-D arrays")
+        out_data = np.empty((src_ids.shape[0],) + sources[0].data.shape[1:])
+        used = np.unique(src_ids)
+        for s in used:
+            if not 0 <= s < len(sources):
+                raise ValueError(f"source id {s} out of range for {len(sources)} sources")
+            mask = src_ids == s
+            out_data[mask] = sources[s].data[row_idx[mask]]
+
+        def backward(grad):
+            for s in used:
+                src = sources[s]
+                if src.requires_grad:
+                    mask = src_ids == s
+                    src._accumulate_at(row_idx[mask], grad[mask])
+
+        return Tensor._make(out_data, sources, backward)
 
     # ------------------------------------------------------------------
     # combination ops used by the tree models

@@ -74,14 +74,14 @@ def code_embedding_map(model: ComparativeModel,
 
     Returns (points, group_labels), one row per submission.
     """
-    vectors = []
+    sources = []
     labels = []
     for tag, submissions in groups.items():
         for sub in submissions:
-            vectors.append(model.embed(sub.source))
+            sources.append(sub.source)
             labels.append(tag)
-    if len(vectors) < 3:
+    if len(sources) < 3:
         raise ValueError("need at least 3 submissions across groups")
-    points = tsne(np.stack(vectors), perplexity=perplexity, n_iter=n_iter,
-                  seed=seed)
+    vectors = model.embed_batch(sources)
+    points = tsne(vectors, perplexity=perplexity, n_iter=n_iter, seed=seed)
     return points, labels

@@ -23,6 +23,13 @@ class TestBasics:
     def test_item_scalar(self):
         assert Tensor(3.5).item() == 3.5
 
+    def test_item_single_element_any_shape(self):
+        assert Tensor(np.array([[2.0]])).item() == 2.0
+
+    def test_item_multi_element_raises(self):
+        with pytest.raises(ValueError, match="single-element"):
+            Tensor([1.0, 2.0]).item()
+
     def test_detach_shares_data_but_no_grad(self):
         t = Tensor([1.0, 2.0], requires_grad=True)
         d = t.detach()
@@ -154,6 +161,70 @@ class TestReductionsAndShape:
         out.backward()
         np.testing.assert_allclose(a.grad[1], [3.0, 3.0])
         np.testing.assert_allclose(a.grad[0], [0.0, 0.0])
+
+    def test_getitem_strided_slice(self):
+        # The batched pair split (z[0::2] / z[1::2]) relies on strided
+        # slice gradients through the sparse accumulation fast path.
+        a = Tensor(rand((6, 3)), requires_grad=True)
+        check_gradients(lambda: (a[0::2] ** 2).sum() + (a[1::2] ** 3).sum(), [a])
+
+    def test_sparse_backward_matches_dense_reference(self):
+        # take_rows must accumulate exactly like the dense scatter it
+        # replaced, including multiple reads of the same tensor.
+        a = Tensor(rand((6, 2)), requires_grad=True)
+        (a.take_rows([0, 5, 5]).sum() + (a.take_rows([1, 0]) ** 2).sum()).backward()
+        expected = np.zeros((6, 2))
+        np.add.at(expected, [0, 5, 5], np.ones((3, 2)))
+        np.add.at(expected, [1, 0], 2 * a.data[[1, 0]])
+        np.testing.assert_allclose(a.grad, expected)
+
+
+class TestPutRows:
+    def test_forward_overwrites_rows(self):
+        a = Tensor(np.zeros((4, 2)))
+        v = Tensor(np.ones((2, 2)))
+        out = a.put_rows([1, 3], v)
+        np.testing.assert_allclose(out.data[[1, 3]], 1.0)
+        np.testing.assert_allclose(out.data[[0, 2]], 0.0)
+        np.testing.assert_allclose(a.data, 0.0)  # out-of-place
+
+    def test_gradcheck(self):
+        a = Tensor(rand((5, 3)), requires_grad=True)
+        v = Tensor(rand((2, 3), 1), requires_grad=True)
+        check_gradients(lambda: (a.put_rows([4, 1], v) ** 2).sum(), [a, v])
+
+    def test_rejects_duplicate_indices(self):
+        with pytest.raises(ValueError, match="unique"):
+            Tensor(np.zeros((4, 2))).put_rows([1, 1], Tensor(np.ones((2, 2))))
+
+
+class TestGatherRows:
+    def test_forward_multi_source(self):
+        a, b = Tensor(rand((3, 2))), Tensor(rand((4, 2), 1))
+        out = Tensor.gather_rows([a, b], [0, 1, 1, 0], [2, 3, 0, 0])
+        np.testing.assert_allclose(
+            out.data, np.stack([a.data[2], b.data[3], b.data[0], a.data[0]]))
+
+    def test_gradcheck(self):
+        a = Tensor(rand((3, 2)), requires_grad=True)
+        b = Tensor(rand((4, 2), 1), requires_grad=True)
+        check_gradients(
+            lambda: (Tensor.gather_rows([a, b], [0, 1, 1, 0, 0],
+                                        [2, 3, 0, 0, 2]) ** 2).sum(),
+            [a, b])
+
+    def test_source_without_reads_gets_no_grad(self):
+        a = Tensor(rand((3, 2)), requires_grad=True)
+        b = Tensor(rand((3, 2), 1), requires_grad=True)
+        Tensor.gather_rows([a, b], [0, 0], [1, 2]).sum().backward()
+        assert a.grad is not None
+        assert b.grad is None
+
+    def test_rejects_empty_and_bad_ids(self):
+        with pytest.raises(ValueError):
+            Tensor.gather_rows([], [0], [0])
+        with pytest.raises(ValueError):
+            Tensor.gather_rows([Tensor(np.zeros((2, 2)))], [1], [0])
 
 
 class TestCombinators:

@@ -5,7 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.nn import ChildSumTreeLSTM, LSTM, Tensor, TreeLSTMStack, TreeSchedule
+from repro.nn import (ChildSumTreeLSTM, ForestSchedule, LSTM, Tensor,
+                      TreeLSTMStack, TreeSchedule, schedule_for)
 
 from ..helpers import check_gradients, numeric_grad
 
@@ -63,6 +64,110 @@ class TestTreeSchedule:
     def test_forest_has_multiple_roots(self):
         sched = TreeSchedule([[1], [], [3], []])
         assert sorted(sched.roots.tolist()) == [0, 2]
+
+
+class TestForestSchedule:
+    TREES = [[[1, 2], [3], [], []],      # height 2
+             [[1], [2], []],             # chain, height 2
+             [[]],                       # single node
+             [[1, 2, 3], [], [4], [], []]]  # height 2, uneven
+
+    def _forest(self):
+        scheds = [TreeSchedule(c) for c in self.TREES]
+        return scheds, ForestSchedule(scheds)
+
+    def test_offsets_and_roots(self):
+        scheds, forest = self._forest()
+        assert forest.num_trees == 4
+        assert forest.num_nodes == sum(s.num_nodes for s in scheds)
+        assert forest.tree_offsets.tolist() == [0, 4, 7, 8, 13]
+        # Every tree's root is its own node 0, shifted by its offset.
+        assert forest.tree_roots.tolist() == [0, 4, 7, 8]
+
+    def test_merged_up_levels_union_trees(self):
+        scheds, forest = self._forest()
+        assert len(forest.up_levels) == max(len(s.up_levels) for s in scheds)
+        # Level 0 of the forest = all leaves of all trees.
+        leaves = sorted(forest.up_levels[0][0].tolist())
+        assert leaves == [2, 3, 6, 7, 9, 11, 12]
+
+    def test_parent_indices_shifted(self):
+        scheds, forest = self._forest()
+        # Tree 1 (offset 4) is the chain 4 <- 5 <- 6.
+        assert forest.parent[5] == 4
+        assert forest.parent[6] == 5
+        assert forest.parent[4] == -1
+
+    def test_rejects_empty_forest(self):
+        with pytest.raises(ValueError):
+            ForestSchedule([])
+
+    @pytest.mark.parametrize("direction", ["up", "down"])
+    def test_forest_encode_matches_per_tree(self, direction):
+        """Fused forest pass == per-tree passes, to ~1e-12 (tentpole)."""
+        rng = np.random.default_rng(7)
+        scheds, forest = self._forest()
+        xs = [rng.normal(size=(s.num_nodes, 3)) for s in scheds]
+        cell = ChildSumTreeLSTM(3, 4, rng=np.random.default_rng(1))
+        h_f, c_f = cell(Tensor(np.concatenate(xs)), forest, direction=direction)
+        offs = forest.tree_offsets
+        for t, (s, x) in enumerate(zip(scheds, xs)):
+            h_t, c_t = cell(Tensor(x), s, direction=direction)
+            np.testing.assert_allclose(h_f.data[offs[t]:offs[t + 1]], h_t.data,
+                                       atol=1e-12)
+            np.testing.assert_allclose(c_f.data[offs[t]:offs[t + 1]], c_t.data,
+                                       atol=1e-12)
+
+    def test_forest_gradients_match_per_tree(self):
+        rng = np.random.default_rng(3)
+        scheds, forest = self._forest()
+        xs = [rng.normal(size=(s.num_nodes, 3)) for s in scheds]
+        stack = TreeLSTMStack(3, 4, num_layers=2, direction="alternating",
+                              rng=np.random.default_rng(5))
+        x_cat = Tensor(np.concatenate(xs), requires_grad=True)
+        z = stack.root_states(x_cat, forest)
+        assert z.shape == (4, 4)
+        (z ** 2).sum().backward()
+        offs = forest.tree_offsets
+        for t, (s, x) in enumerate(zip(scheds, xs)):
+            xi = Tensor(x, requires_grad=True)
+            zi = stack.encode(xi, s)
+            np.testing.assert_allclose(zi.data, z.data[t], atol=1e-12)
+            (zi ** 2).sum().backward()
+            np.testing.assert_allclose(x_cat.grad[offs[t]:offs[t + 1]],
+                                       xi.grad, atol=1e-10)
+
+    def test_forest_gradcheck_numeric(self):
+        """Finite-difference gradcheck straight through the fused pass."""
+        rng = np.random.default_rng(11)
+        scheds = [TreeSchedule(c) for c in ([[1, 2], [], []], [[1], []])]
+        forest = ForestSchedule(scheds)
+        cell = ChildSumTreeLSTM(2, 2, rng=rng)
+        x = Tensor(rng.normal(size=(forest.num_nodes, 2)), requires_grad=True)
+
+        def loss():
+            h, _ = cell(x, forest)
+            return (h.take_rows(forest.tree_roots) ** 2).sum()
+
+        check_gradients(loss, [x, cell.w_iou, cell.u_f], atol=1e-4, rtol=1e-3)
+
+    def test_root_states_single_tree(self):
+        stack = TreeLSTMStack(3, 4, rng=np.random.default_rng(0))
+        sched = TreeSchedule([[1, 2], [], []])
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 3)))
+        z = stack.root_states(x, sched)
+        assert z.shape == (1, 4)
+        np.testing.assert_allclose(z.data[0], stack.encode(x, sched).data,
+                                   atol=1e-12)
+
+
+class TestScheduleMemo:
+    def test_same_structure_shares_schedule(self):
+        children = [[1, 2], [], []]
+        assert schedule_for(children) is schedule_for([[1, 2], [], []])
+
+    def test_different_structure_differs(self):
+        assert schedule_for([[1], []]) is not schedule_for([[], [0]])
 
 
 class TestChildSumEquations:
