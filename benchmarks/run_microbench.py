@@ -1,8 +1,9 @@
 """Dump the perf microbenchmarks to a JSON artifact at the repo root.
 
-Runs ``benchmarks/test_perf_microbench.py`` under pytest-benchmark and
-writes the machine-readable results to ``BENCH_PR<n>.json`` so the
-repository carries a perf trajectory across PRs::
+Runs ``benchmarks/test_perf_microbench.py`` and
+``benchmarks/test_perf_serve.py`` under pytest-benchmark and writes
+the machine-readable results to ``BENCH_PR<n>.json`` so the repository
+carries a perf trajectory across PRs::
 
     python benchmarks/run_microbench.py            # -> BENCH_PR1.json
     python benchmarks/run_microbench.py --pr 2     # -> BENCH_PR2.json
@@ -37,6 +38,7 @@ def main() -> int:
                                if env.get("PYTHONPATH") else "")
     cmd = [sys.executable, "-m", "pytest",
            str(REPO_ROOT / "benchmarks" / "test_perf_microbench.py"),
+           str(REPO_ROOT / "benchmarks" / "test_perf_serve.py"),
            "-q", f"--benchmark-json={out}"]
     print("+", " ".join(cmd))
     result = subprocess.run(cmd, cwd=REPO_ROOT, env=env)

@@ -1,0 +1,39 @@
+"""Synthetic benchmark program + structurally distinct variants.
+
+Shared by ``test_perf_microbench.py`` and ``test_perf_serve.py`` so the
+replace-target line and the distinctness guarantees live in exactly one
+place (the pre-PR4 copy of this logic silently produced byte-identical
+"variants" because the replaced line did not exist).
+"""
+
+SOURCE = """
+#include <bits/stdc++.h>
+using namespace std;
+int main() {
+    int n; cin >> n;
+    vector<int> v(n, 0);
+    for (int i = 0; i < n; i++) cin >> v[i];
+    sort(v.begin(), v.end());
+    long long s = 0;
+    for (int i = 0; i < n; i++) s += (long long)(v[i]) * i;
+    cout << s << endl;
+    return 0;
+}
+"""
+
+LOOP_LINE = "    for (int i = 0; i < n; i++) s += (long long)(v[i]) * i;\n"
+
+
+def variants(n: int) -> list[str]:
+    """``n`` structurally distinct versions of :data:`SOURCE`.
+
+    Variant k appends k extra statements, so node counts — and hence
+    canonical AST keys — all differ (literal-only edits would not: the
+    serving cache's canonical hash ignores literal values by design).
+    """
+    assert LOOP_LINE in SOURCE, "benchmark source drifted from LOOP_LINE"
+    out = [SOURCE.replace(LOOP_LINE,
+                          LOOP_LINE + "    s += n;\n" * k)
+           for k in range(1, n + 1)]
+    assert len(set(out)) == n
+    return out

@@ -1,4 +1,4 @@
-"""Command-line interface: collect, inspect, train, predict.
+"""Command-line interface: collect, inspect, train, predict, serve.
 
 The paper describes "a pipeline that can be integrated into the
 development phase of applications"; this CLI is that integration
@@ -7,8 +7,35 @@ surface::
     python -m repro collect --tags C F --per-problem 24 --out corpus.jsonl
     python -m repro stats   --db corpus.jsonl
     python -m repro train   --db corpus.jsonl --tag C --out model.npz
+    python -m repro serve   --model model.npz < requests.jsonl
     python -m repro predict --db corpus.jsonl --tag C --model model.npz \
                             --old old.cpp --new new.cpp
+
+``repro serve``
+---------------
+Keeps the trained model resident and answers a stream of JSONL
+requests — one JSON object per line on stdin, one response per line on
+stdout (see :mod:`repro.serve` for the request lifecycle: parse ->
+canonical hash -> LRU cache -> micro-batcher -> fused forest encode).
+Request shapes::
+
+    {"id": 1, "op": "embed",   "source": "int main() { ... }"}
+    {"id": 2, "op": "compare", "old": "...", "new": "...",
+     "threshold": 0.7}                       # regression check
+    {"id": 3, "op": "compare", "first": "...", "second": "..."}
+    {"id": 4, "op": "rank", "candidates": ["...", "..."],
+     "baseline": "..."}
+    {"id": 5, "op": "stats"}
+
+Responses echo ``id`` and carry ``"ok": true`` plus the result fields
+(``embedding``, ``regression_probability``/``flagged``,
+``p_first_slower``, ``ranking``, ...), or ``"ok": false`` with an
+``error`` string. ``--requests``/``--out`` switches to bulk file mode:
+the whole file's distinct trees are pre-encoded in maximal fused
+batches, then every request is answered from cache. ``train`` writes
+versioned checkpoints (weights + encoder config + vocab in one
+``.npz``) that ``predict``/``serve`` reload without any re-specified
+configuration.
 """
 
 from __future__ import annotations
@@ -20,10 +47,10 @@ from pathlib import Path
 
 from .corpus import Collector, SubmissionDatabase, family_for_tag, mp_families
 from .core import (
-    ExperimentConfig, PerformanceGate, TrainConfig, build_model,
-    run_experiment,
+    ENCODER_KINDS, ExperimentConfig, PerformanceGate, TrainConfig,
+    build_model, run_experiment,
 )
-from .nn.serialize import load_state, save_state
+from .nn.serialize import load_state
 from .viz import table
 
 __all__ = ["main", "build_parser"]
@@ -50,7 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
     train = sub.add_parser("train", help="train a comparative model")
     train.add_argument("--db", required=True)
     train.add_argument("--tag", required=True)
-    train.add_argument("--encoder", choices=["treelstm", "gcn"],
+    train.add_argument("--encoder", choices=list(ENCODER_KINDS),
                        default="treelstm")
     train.add_argument("--epochs", type=int, default=6)
     train.add_argument("--pairs", type=int, default=100)
@@ -65,6 +92,20 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--old", required=True)
     predict.add_argument("--new", required=True)
     predict.add_argument("--threshold", type=float, default=0.5)
+
+    serve = sub.add_parser(
+        "serve", help="online prediction service (JSONL request/response)")
+    serve.add_argument("--model", required=True,
+                       help="versioned checkpoint from `repro train`")
+    serve.add_argument("--requests", default=None,
+                       help="bulk mode: JSONL request file (default: stdin "
+                            "stream)")
+    serve.add_argument("--out", default=None,
+                       help="bulk mode: response file (default: stdout)")
+    serve.add_argument("--max-batch", type=int, default=32)
+    serve.add_argument("--cache-size", type=int, default=1024)
+    serve.add_argument("--stats", action="store_true",
+                       help="print service counters to stderr on exit")
     return parser
 
 
@@ -102,24 +143,41 @@ def _cmd_train(args) -> int:
         eval_pairs=max(20, args.pairs // 2), seed=args.seed,
         train=TrainConfig(epochs=args.epochs, seed=args.seed))
     result = run_experiment(subs, config)
-    state = result.trainer.model.state_dict()
-    save_state(state, args.out)
+    from .serve.checkpoint import save_checkpoint
+
+    written = save_checkpoint(
+        result.trainer.model, args.out,
+        extra={"tag": args.tag, "train_pairs": args.pairs,
+               "epochs": args.epochs,
+               "accuracy": result.evaluation.accuracy})
+    # legacy sidecar, kept for pre-checkpoint tooling
     meta = {"encoder": args.encoder, "embedding_dim": args.embedding_dim,
             "hidden": args.hidden, "seed": args.seed,
             "accuracy": result.evaluation.accuracy}
     Path(args.out).with_suffix(".json").write_text(json.dumps(meta))
     print(f"trained on {len(subs)} submissions; held-out accuracy="
-          f"{result.evaluation.accuracy:.3f}; model -> {args.out}")
+          f"{result.evaluation.accuracy:.3f}; model -> {written}")
     return 0
 
 
+def _load_model(path):
+    """Versioned checkpoint, or the legacy npz + sidecar-JSON layout."""
+    from .serve.checkpoint import NotACheckpointError, load_checkpoint
+
+    try:
+        return load_checkpoint(path)
+    except NotACheckpointError:
+        meta = json.loads(Path(path).with_suffix(".json").read_text())
+        model = build_model(encoder_kind=meta["encoder"],
+                            embedding_dim=meta["embedding_dim"],
+                            hidden_size=meta["hidden"], seed=meta["seed"])
+        model.load_state_dict(load_state(path))
+        return model
+
+
 def _cmd_predict(args) -> int:
-    meta = json.loads(Path(args.model).with_suffix(".json").read_text())
-    model = build_model(encoder_kind=meta["encoder"],
-                        embedding_dim=meta["embedding_dim"],
-                        hidden_size=meta["hidden"], seed=meta["seed"])
-    model.load_state_dict(load_state(args.model))
-    gate = PerformanceGate(model, flag_threshold=args.threshold)
+    gate = PerformanceGate(_load_model(args.model),
+                           flag_threshold=args.threshold)
     old_source = Path(args.old).read_text()
     new_source = Path(args.new).read_text()
     report = gate.check(old_source, new_source)
@@ -129,10 +187,103 @@ def _cmd_predict(args) -> int:
     return 0 if not report["flagged"] else 2
 
 
+def _serve_one(service, request: dict) -> dict:
+    """Answer one decoded JSONL request; never raises."""
+    response = {"ok": True}
+    if "id" in request:
+        response["id"] = request["id"]
+    try:
+        op = request.get("op")
+        if op == "embed":
+            response["embedding"] = service.embed(request["source"]).tolist()
+        elif op == "compare" and "old" in request:
+            response.update(service.check_regression(
+                request["old"], request["new"],
+                threshold=float(request.get("threshold", 0.5))))
+        elif op == "compare":
+            response["p_first_slower"] = service.compare(
+                request["first"], request["second"])
+        elif op == "rank":
+            response["ranking"] = service.rank(
+                request["candidates"], baseline=request.get("baseline"))
+        elif op == "stats":
+            response["stats"] = service.stats()
+        else:
+            raise ValueError(f"unknown op {op!r}")
+    except Exception as error:  # one bad request must not kill the stream
+        response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+        if "id" in request:
+            response["id"] = request["id"]
+    return response
+
+
+def _request_sources(request: dict) -> list[str]:
+    """Every source string a request will need embedded (for prewarm)."""
+    sources = [request[k] for k in ("source", "old", "new", "first", "second")
+               if isinstance(request.get(k), str)]
+    if isinstance(request.get("candidates"), list):
+        sources.extend(s for s in request["candidates"] if isinstance(s, str))
+    if isinstance(request.get("baseline"), str):
+        sources.append(request["baseline"])
+    return sources
+
+
+def _cmd_serve(args) -> int:
+    from .serve import PredictionService
+
+    # The CLI drives the service sequentially, so the batcher runs
+    # inline (the latency trigger only matters for concurrent clients
+    # embedding PredictionService directly).
+    service = PredictionService.from_checkpoint(
+        args.model, max_batch=args.max_batch, cache_size=args.cache_size,
+        threaded=False)
+    with service:
+        if args.requests is not None:
+            # Bulk mode: pre-encode every distinct tree of the file in
+            # maximal fused batches, then answer from cache. A bad line
+            # becomes one error response, same as stream mode.
+            entries = []  # (request dict, None) or (None, error response)
+            for line in Path(args.requests).read_text().splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    entries.append((json.loads(line), None))
+                except json.JSONDecodeError as error:
+                    entries.append(
+                        (None, {"ok": False, "error": f"bad JSON: {error}"}))
+            service.prewarm([s for r, _ in entries if r is not None
+                             for s in _request_sources(r)])
+            lines = [json.dumps(_serve_one(service, r) if r is not None
+                                else bad)
+                     for r, bad in entries]
+            payload = "\n".join(lines) + ("\n" if lines else "")
+            if args.out is not None:
+                Path(args.out).write_text(payload)
+            else:
+                sys.stdout.write(payload)
+        else:
+            # Stream mode: one request per stdin line, answer per line.
+            for line in sys.stdin:
+                if not line.strip():
+                    continue
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as error:
+                    response = {"ok": False, "error": f"bad JSON: {error}"}
+                else:
+                    response = _serve_one(service, request)
+                sys.stdout.write(json.dumps(response) + "\n")
+                sys.stdout.flush()
+        if args.stats:
+            print(json.dumps(service.stats(), indent=2), file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"collect": _cmd_collect, "stats": _cmd_stats,
-                "train": _cmd_train, "predict": _cmd_predict}
+                "train": _cmd_train, "predict": _cmd_predict,
+                "serve": _cmd_serve}
     return handlers[args.command](args)
 
 

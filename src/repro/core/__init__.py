@@ -11,13 +11,13 @@ from .baselines import (
     WeightedConstructHeuristic, baseline_accuracy,
 )
 from .classifier import PairClassifier
-from .encoders import GcnEncoder, TreeLstmEncoder
+from .encoders import GcnEncoder, LstmEncoder, TreeLstmEncoder
 from .evaluate import (
     EvalResult, cross_problem_matrix, evaluate_on_pairs, sensitivity_curve,
 )
 from .features import ForestFeatures, TreeFeatures, TreeFeaturizer, pack_forest
 from .metrics import RocCurve, accuracy, auc, confusion, roc_curve
-from .model import ComparativeModel, build_model
+from .model import ENCODER_KINDS, ComparativeModel, build_model, model_from_config
 from .pipeline import (
     ExperimentConfig, ExperimentResult, PerformanceGate, run_experiment,
 )
@@ -25,8 +25,8 @@ from .trainer import TrainConfig, TrainHistory, Trainer
 
 __all__ = [
     "TreeFeatures", "TreeFeaturizer", "ForestFeatures", "pack_forest",
-    "TreeLstmEncoder", "GcnEncoder", "PairClassifier",
-    "ComparativeModel", "build_model",
+    "TreeLstmEncoder", "GcnEncoder", "LstmEncoder", "PairClassifier",
+    "ComparativeModel", "build_model", "model_from_config", "ENCODER_KINDS",
     "TrainConfig", "TrainHistory", "Trainer",
     "accuracy", "confusion", "RocCurve", "roc_curve", "auc",
     "EvalResult", "evaluate_on_pairs", "cross_problem_matrix",

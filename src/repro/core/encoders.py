@@ -13,11 +13,12 @@ import numpy as np
 from ..nn.gcn import GCN
 from ..nn.layers import Embedding
 from ..nn.module import Module
+from ..nn.rnn import LSTM
 from ..nn.tensor import Tensor
 from ..nn.treelstm import TreeLSTMStack
 from .features import TreeFeatures, pack_forest
 
-__all__ = ["TreeLstmEncoder", "GcnEncoder"]
+__all__ = ["TreeLstmEncoder", "GcnEncoder", "LstmEncoder"]
 
 
 class TreeLstmEncoder(Module):
@@ -95,3 +96,50 @@ class GcnEncoder(Module):
     def node_states(self, features: TreeFeatures) -> Tensor:
         x = self.embedding(features.node_ids)
         return self.gcn(x, features.adjacency)
+
+
+class LstmEncoder(Module):
+    """Embedding lookup + sequential LSTM over the pre-order node walk.
+
+    The structure-blind ablation of the paper's Section III: the AST is
+    consumed as a flat token sequence (Eq. 3's chain LSTM), so any win
+    of the tree-LSTM over this encoder is attributable to the tree
+    topology. The latent code vector is the final hidden state.
+    """
+
+    def __init__(self, vocab_size: int, embedding_dim: int = 120,
+                 hidden_size: int = 100,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.embedding = Embedding(vocab_size, embedding_dim, rng=rng)
+        self.lstm = LSTM(embedding_dim, hidden_size, rng=rng)
+        self.output_size = hidden_size
+
+    def forward(self, features: TreeFeatures) -> Tensor:
+        x = self.embedding(features.node_ids)
+        _, (h, _) = self.lstm(x)
+        return h
+
+    def encode_batch(self, features_list: list[TreeFeatures]) -> Tensor:
+        """Latent vectors for a whole batch, (T, hidden).
+
+        One fused embedding lookup; the recurrence itself runs per tree
+        (sequences have ragged lengths), matching the batched-encode
+        API of the other encoders.
+        """
+        node_ids = np.concatenate([f.node_ids for f in features_list])
+        x = self.embedding(node_ids)
+        finals = []
+        offset = 0
+        for feats in features_list:
+            n = feats.num_nodes
+            _, (h, _) = self.lstm(x[offset:offset + n])
+            finals.append(h)
+            offset += n
+        return Tensor.stack(finals, axis=0)
+
+    def node_states(self, features: TreeFeatures) -> Tensor:
+        x = self.embedding(features.node_ids)
+        states, _ = self.lstm(x)
+        return states

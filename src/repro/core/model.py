@@ -7,10 +7,13 @@ import numpy as np
 from ..nn.module import Module
 from ..nn.tensor import Tensor, no_grad
 from .classifier import PairClassifier
-from .encoders import GcnEncoder, TreeLstmEncoder
+from .encoders import GcnEncoder, LstmEncoder, TreeLstmEncoder
 from .features import TreeFeatures, TreeFeaturizer
 
-__all__ = ["ComparativeModel", "build_model"]
+__all__ = ["ComparativeModel", "build_model", "model_from_config",
+           "ENCODER_KINDS"]
+
+ENCODER_KINDS = ("treelstm", "gcn", "lstm")
 
 
 class ComparativeModel(Module):
@@ -64,19 +67,28 @@ class ComparativeModel(Module):
             return self.encoder(self.featurizer(source)).data.copy()
 
     def embed_batch(self, sources: list[str], batch_size: int = 64) -> np.ndarray:
-        """Latent code vectors for many sources, (T, d), forest-batched."""
+        """Latent code vectors for many sources, (T, d), forest-batched.
+
+        Identical sources are encoded **once** and fanned back out to
+        every position that requested them (submission corpora and
+        serving traffic both repeat sources heavily), so the encoder
+        only ever sees the unique trees.
+        """
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
         if not sources:
             return np.zeros((0, self.encoder.output_size))
-        out = np.empty((len(sources), self.encoder.output_size))
+        unique: dict[str, int] = {}
+        slot_of = [unique.setdefault(s, len(unique)) for s in sources]
+        ordered = list(unique)
+        codes = np.empty((len(ordered), self.encoder.output_size))
         with no_grad():
-            for start in range(0, len(sources), batch_size):
-                chunk = sources[start:start + batch_size]
+            for start in range(0, len(ordered), batch_size):
+                chunk = ordered[start:start + batch_size]
                 feats = [self.featurizer(s) for s in chunk]
-                out[start:start + len(chunk)] = \
+                codes[start:start + len(chunk)] = \
                     self.encoder.encode_batch(feats).data
-        return out
+        return codes[slot_of]
 
 
 def build_model(encoder_kind: str = "treelstm", vocab_size: int | None = None,
@@ -92,7 +104,7 @@ def build_model(encoder_kind: str = "treelstm", vocab_size: int | None = None,
     the pure-numpy stack trains in seconds. Both are exercised in the
     benchmark harness.
     """
-    if encoder_kind not in ("treelstm", "gcn"):
+    if encoder_kind not in ENCODER_KINDS:
         raise ValueError(f"unknown encoder kind {encoder_kind!r}")
     featurizer = featurizer if featurizer is not None else TreeFeaturizer()
     if vocab_size is None:
@@ -103,10 +115,44 @@ def build_model(encoder_kind: str = "treelstm", vocab_size: int | None = None,
                                   hidden_size=hidden_size,
                                   num_layers=num_layers, direction=direction,
                                   rng=rng)
-    else:
+    elif encoder_kind == "gcn":
         encoder = GcnEncoder(vocab_size, embedding_dim=embedding_dim,
                              hidden_size=hidden_size, num_layers=num_layers,
                              rng=rng)
+    else:
+        if num_layers != 1:
+            raise ValueError("the sequential lstm encoder is single-layer; "
+                             "got num_layers=%d" % num_layers)
+        if direction != "alternating":
+            raise ValueError("direction is a tree-LSTM knob; the sequential "
+                             "lstm encoder does not accept "
+                             f"direction={direction!r}")
+        encoder = LstmEncoder(vocab_size, embedding_dim=embedding_dim,
+                              hidden_size=hidden_size, rng=rng)
     classifier = PairClassifier(encoder.output_size,
                                 hidden=classifier_hidden, rng=rng)
-    return ComparativeModel(encoder, classifier, featurizer)
+    model = ComparativeModel(encoder, classifier, featurizer)
+    model.config = {
+        "encoder_kind": encoder_kind, "vocab_size": vocab_size,
+        "embedding_dim": embedding_dim, "hidden_size": hidden_size,
+        "num_layers": num_layers, "direction": direction,
+        "classifier_hidden": classifier_hidden, "seed": seed,
+    }
+    return model
+
+
+def model_from_config(config: dict,
+                      featurizer: TreeFeaturizer | None = None) -> ComparativeModel:
+    """Rebuild a :func:`build_model` model from its ``config`` dict.
+
+    This is the construct-from-checkpoint half of
+    :mod:`repro.serve.checkpoint`: the config travels inside the
+    checkpoint's metadata header, so loading never requires the caller
+    to re-specify architecture knobs.
+    """
+    known = {"encoder_kind", "vocab_size", "embedding_dim", "hidden_size",
+             "num_layers", "direction", "classifier_hidden", "seed"}
+    unknown = set(config) - known
+    if unknown:
+        raise ValueError(f"unknown model config keys: {sorted(unknown)}")
+    return build_model(featurizer=featurizer, **config)

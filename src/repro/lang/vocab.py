@@ -106,13 +106,19 @@ class NodeVocab:
         return self._id_to_kind[index]
 
     # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-ready representation (used by files and checkpoints)."""
+        return {"kinds": self._id_to_kind[1:], "frozen": self.frozen}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "NodeVocab":
+        return cls(kinds=payload["kinds"], frozen=payload["frozen"])
+
     def save(self, path) -> None:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps({"kinds": self._id_to_kind[1:],
-                                    "frozen": self.frozen}))
+        path.write_text(json.dumps(self.to_payload()))
 
     @classmethod
     def load(cls, path) -> "NodeVocab":
-        payload = json.loads(Path(path).read_text())
-        return cls(kinds=payload["kinds"], frozen=payload["frozen"])
+        return cls.from_payload(json.loads(Path(path).read_text()))

@@ -1,30 +1,82 @@
-"""Save/load module state dicts as ``.npz`` archives."""
+"""Save/load module state dicts as ``.npz`` archives.
+
+Two layers live here:
+
+* ``save_state`` / ``load_state`` — the plain ``name -> array`` mapping
+  used since the first training CLI. Paths are normalized to the
+  ``.npz`` suffix on *both* ends (``np.savez`` silently appends it, so
+  a suffixless path used to save fine and then fail to load).
+* an optional **metadata header**: ``save_state(..., meta=...)`` embeds
+  one JSON document alongside the arrays under the reserved
+  ``__meta__`` key, and ``load_state_with_meta`` recovers both halves.
+  Archives written without metadata load unchanged, and ``load_state``
+  on an archive *with* metadata transparently drops the header — the
+  two formats are mutually back-compatible. The versioned model
+  checkpoints of :mod:`repro.serve.checkpoint` ride on this header.
+"""
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import numpy as np
 
 from .module import Module
 
-__all__ = ["save_state", "load_state", "save_module", "load_module"]
+__all__ = [
+    "save_state", "load_state", "load_state_with_meta",
+    "save_module", "load_module", "METADATA_KEY",
+]
+
+METADATA_KEY = "__meta__"
 
 
-def save_state(state: dict, path) -> None:
-    """Write a ``name -> array`` mapping to an npz file."""
+def _normalize(path) -> Path:
+    """Append ``.npz`` when absent, matching ``np.savez``'s behaviour."""
     path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def save_state(state: dict, path, meta: dict | None = None) -> Path:
+    """Write a ``name -> array`` mapping (plus optional JSON metadata).
+
+    ``meta`` must be JSON-serializable; it is stored under the reserved
+    ``__meta__`` key, which therefore cannot be a state-dict entry.
+    Returns the normalized path actually written.
+    """
+    if METADATA_KEY in state:
+        raise ValueError(f"state key {METADATA_KEY!r} is reserved for metadata")
+    path = _normalize(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **{k: np.asarray(v) for k, v in state.items()})
+    arrays = {k: np.asarray(v) for k, v in state.items()}
+    if meta is not None:
+        arrays[METADATA_KEY] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **arrays)
+    return path
 
 
 def load_state(path) -> dict:
-    with np.load(Path(path)) as archive:
-        return {k: archive[k] for k in archive.files}
+    """Arrays only — any metadata header is silently dropped."""
+    state, _ = load_state_with_meta(path)
+    return state
 
 
-def save_module(module: Module, path) -> None:
-    save_state(module.state_dict(), path)
+def load_state_with_meta(path) -> tuple[dict, dict | None]:
+    """Arrays plus the decoded ``meta`` dict (``None`` when absent)."""
+    with np.load(_normalize(path)) as archive:
+        state = {k: archive[k] for k in archive.files if k != METADATA_KEY}
+        meta = None
+        if METADATA_KEY in archive.files:
+            meta = json.loads(archive[METADATA_KEY].tobytes().decode("utf-8"))
+    return state, meta
+
+
+def save_module(module: Module, path, meta: dict | None = None) -> None:
+    save_state(module.state_dict(), path, meta=meta)
 
 
 def load_module(module: Module, path) -> Module:

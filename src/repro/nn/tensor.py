@@ -13,31 +13,33 @@ reduction, which the test-suite verifies against finite differences.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
-_GRAD_ENABLED = True
+# Per-thread, so concurrent serving threads (repro.serve) toggling
+# no_grad cannot corrupt each other's — or a training loop's — state.
+_GRAD_STATE = threading.local()
 
 
 class no_grad:
     """Context manager that disables graph construction (like torch.no_grad)."""
 
     def __enter__(self):
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, exc_type, exc, tb):
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _GRAD_STATE.enabled = self._prev
         return False
 
 
 def is_grad_enabled() -> bool:
     """Return whether new operations will be recorded for backprop."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _as_array(data) -> np.ndarray:
@@ -79,7 +81,7 @@ class Tensor:
 
     def __init__(self, data, requires_grad: bool = False, name: str = ""):
         self.data = _as_array(data)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: np.ndarray | None = None
         self._backward = None
         self._parents: tuple[Tensor, ...] = ()
@@ -127,7 +129,7 @@ class Tensor:
     # ------------------------------------------------------------------
     @staticmethod
     def _make(data: np.ndarray, parents: tuple["Tensor", ...], backward) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = parents

@@ -1,0 +1,62 @@
+"""Online prediction serving: keep a trained model resident and answer
+a stream of "is new.cpp faster than old.cpp?" queries.
+
+The paper frames the model as "a pipeline that can be integrated into
+the development phase of applications"; the offline CLI trains and
+evaluates, and this package is the missing online half. Every request
+walks the same lifecycle::
+
+          +-----------+   +----------------+   +--------------+
+  source  | featurize |   | canonical hash |   |  LRU cache   |  hit
+  ------->| parse ->  |-->| kinds+topology |-->| (embeddings) |------> answer
+          | simplify  |   | (cache.py)     |   +------+-------+
+          +-----------+   +----------------+          | miss
+                                                      v
+                                       +-----------------------------+
+                                       | micro-batcher (batcher.py)  |
+                                       | size / latency flush        |
+                                       +--------------+--------------+
+                                                      v
+                                       +-----------------------------+
+                                       | fused forest encode         |
+                                       | pack_forest + encode_batch  |
+                                       +--------------+--------------+
+                                                      v
+                                         classifier GEMM -> answer
+
+1. **parse** — :class:`~repro.core.TreeFeaturizer` runs the frontend
+   (parse -> simplify -> flatten -> vocab IDs), memoized on raw source.
+2. **canonical hash** — :func:`~repro.serve.cache.canonical_key`
+   digests the *simplified AST* (node kinds + topology), so
+   reformatted or α-renamed resubmissions share a key.
+3. **cache** — :class:`~repro.serve.cache.LruCache` holds bounded
+   recent embeddings; a hit never touches the encoder.
+4. **batcher** — misses queue in a
+   :class:`~repro.serve.batcher.MicroBatcher` and are flushed —
+   size- or latency-triggered — as **one** fused forest
+   (``pack_forest`` + ``encode_batch``), then demultiplexed.
+5. **forest encode** — the PR-1 batched tree-LSTM/GCN/LSTM pass; its
+   rows are cached and combined by the pair classifier (a GEMM) into
+   compare/rank answers.
+
+Checkpoints (:mod:`~repro.serve.checkpoint`) bundle weights + encoder
+config + vocabulary into one versioned ``.npz`` so
+``PredictionService.from_checkpoint(path)`` boots with no sidecar
+config. The CLI front door is ``python -m repro serve`` (JSONL over
+stdin/stdout, or bulk ``--requests``/``--out`` files).
+"""
+
+from .batcher import MicroBatcher, Ticket
+from .cache import LruCache, canonical_key
+from .checkpoint import (
+    CHECKPOINT_FORMAT, CHECKPOINT_VERSION, NotACheckpointError,
+    load_checkpoint, read_checkpoint_meta, save_checkpoint,
+)
+from .service import PredictionService
+
+__all__ = [
+    "PredictionService", "MicroBatcher", "Ticket", "LruCache",
+    "canonical_key", "save_checkpoint", "load_checkpoint",
+    "read_checkpoint_meta", "NotACheckpointError", "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+]

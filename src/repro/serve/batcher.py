@@ -1,0 +1,224 @@
+"""Micro-batching: coalesce concurrent encode requests into one forest.
+
+Single-request prediction wastes the fused-forest encoder of PR 1 — a
+tree-LSTM sweep over one tree costs nearly as much Python-side schedule
+work as a sweep over thirty-two. :class:`MicroBatcher` closes that gap:
+requests are enqueued as tickets, and a flush encodes every pending
+tree as **one** ``encode_batch`` call (one packed forest), then
+demultiplexes the rows back to their tickets.
+
+Two flush triggers, both tunable:
+
+* **size** — a flush fires as soon as ``max_batch`` requests are
+  pending;
+* **latency** — an incomplete batch is flushed once its oldest request
+  has waited ``max_delay_ms`` (the classic deadline trigger, so a lone
+  request is never stranded behind a timer that nothing else will
+  fill).
+
+The batcher runs in either of two modes:
+
+* **threaded** (default): a daemon worker owns the triggers, so any
+  number of client threads can block on ``ticket.result()`` while
+  their requests coalesce;
+* **inline** (``start=False``): no worker — ``ticket.result()`` (or an
+  explicit :meth:`MicroBatcher.flush`) drains everything pending in
+  the calling thread. This is what the bulk/file serving path uses:
+  submit a whole request file, then resolve, giving maximal batches
+  with zero thread handoffs.
+
+Identical items (``id``-equal, which featurizer memoization guarantees
+for repeated sources) are encoded once per flush and fanned out.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["MicroBatcher", "Ticket"]
+
+
+class Ticket:
+    """One pending request; ``result()`` blocks until its flush lands."""
+
+    __slots__ = ("item", "_batcher", "_event", "_value", "_error")
+
+    def __init__(self, item, batcher: "MicroBatcher"):
+        self.item = item
+        self._batcher = batcher
+        self._event = threading.Event()
+        self._value = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None):
+        """The encoded row for this request's item.
+
+        In inline mode the calling thread performs the flush itself;
+        in threaded mode it waits for the worker.
+        """
+        if not self._event.is_set() and self._batcher._worker is None:
+            self._batcher.flush()
+        if not self._event.wait(timeout):
+            raise TimeoutError("batched encode did not complete in time")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    # -- called by the batcher -----------------------------------------
+    def _resolve(self, value) -> None:
+        self._value = value
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class MicroBatcher:
+    """Accumulate encode requests; flush them as fused batches.
+
+    ``encode_fn(items)`` must return an indexable of ``len(items)``
+    rows (e.g. the ``(T, d)`` array of ``encoder.encode_batch``).
+    """
+
+    def __init__(self, encode_fn, max_batch: int = 32,
+                 max_delay_ms: float = 2.0, start: bool = True):
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be non-negative")
+        self._encode_fn = encode_fn
+        self.max_batch = max_batch
+        self.max_delay_ms = max_delay_ms
+        self._pending: list[tuple[Ticket, float]] = []
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._closed = False
+        # counters (read via stats(); written under the lock or by the
+        # single flushing thread)
+        self.batches = 0
+        self.items = 0
+        self.unique_items = 0
+        self.largest_batch = 0
+        self._worker: threading.Thread | None = None
+        if start:
+            self._worker = threading.Thread(target=self._run, daemon=True,
+                                            name="repro-serve-batcher")
+            self._worker.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, item) -> Ticket:
+        """Enqueue ``item`` for the next fused flush."""
+        ticket = Ticket(item, self)
+        with self._wakeup:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            self._pending.append((ticket, time.monotonic()))
+            self._wakeup.notify_all()
+        return ticket
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def flush(self) -> int:
+        """Drain everything pending now (inline, in the calling thread).
+
+        Returns the number of requests resolved. Batches are still
+        capped at ``max_batch`` per ``encode_fn`` call.
+        """
+        resolved = 0
+        while True:
+            with self._lock:
+                batch = [t for t, _ in self._pending[:self.max_batch]]
+                del self._pending[:len(batch)]
+            if not batch:
+                return resolved
+            self._encode_batch(batch)
+            resolved += len(batch)
+
+    def close(self) -> None:
+        """Flush the tail and stop the worker (idempotent)."""
+        with self._wakeup:
+            self._closed = True
+            self._wakeup.notify_all()
+        if self._worker is not None:
+            self._worker.join(timeout=5.0)
+            if self._worker.is_alive():
+                # still mid-encode: it owns the queue and will drain it
+                # (closed is set); flushing here would race it
+                return
+            self._worker = None
+        self.flush()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        with self._lock:
+            mean = (self.items / self.batches) if self.batches else 0.0
+            return {
+                "batches": self.batches, "items": self.items,
+                "unique_items": self.unique_items,
+                "largest_batch": self.largest_batch,
+                "mean_batch_size": mean, "pending": len(self._pending),
+            }
+
+    # ------------------------------------------------------------------
+    def _encode_batch(self, batch: list[Ticket]) -> None:
+        """One fused encode for ``batch``, deduplicated and demuxed."""
+        slot_of: dict[int, int] = {}
+        unique: list = []
+        rows: list[int] = []
+        for ticket in batch:
+            key = id(ticket.item)
+            if key not in slot_of:
+                slot_of[key] = len(unique)
+                unique.append(ticket.item)
+            rows.append(slot_of[key])
+        try:
+            encoded = self._encode_fn(unique)
+            # demux inside the failure boundary too: a short or
+            # unindexable result must fail this batch, not kill the
+            # worker and strand every future ticket
+            results = [encoded[row] for row in rows]
+        except BaseException as error:  # propagate to every waiter
+            for ticket in batch:
+                ticket._fail(error)
+            return
+        with self._lock:
+            self.batches += 1
+            self.items += len(batch)
+            self.unique_items += len(unique)
+            self.largest_batch = max(self.largest_batch, len(batch))
+        for ticket, value in zip(batch, results):
+            ticket._resolve(value)
+
+    def _run(self) -> None:
+        """Worker loop: wait for work, apply the size/latency triggers."""
+        while True:
+            with self._wakeup:
+                while not self._pending and not self._closed:
+                    self._wakeup.wait()
+                if self._closed and not self._pending:
+                    return
+                deadline = self._pending[0][1] + self.max_delay_ms / 1000.0
+                while (len(self._pending) < self.max_batch
+                       and not self._closed):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._wakeup.wait(timeout=remaining)
+                    if not self._pending:
+                        break
+                batch = [t for t, _ in self._pending[:self.max_batch]]
+                del self._pending[:len(batch)]
+            if batch:
+                self._encode_batch(batch)

@@ -1,0 +1,97 @@
+"""Canonical-AST keys and the bounded LRU embedding cache.
+
+The model never sees identifier names, literal values, whitespace or
+comments — only simplified-AST node *kinds* and topology
+(:mod:`repro.lang.simplify`). Two submissions that agree on those have
+bit-identical embeddings, so the serving cache keys on a digest of
+exactly that pair: the vocabulary-ID sequence (pre-order) plus the
+parent array of the evaluation schedule. Reformatted or α-renamed
+resubmissions — the common case in a development loop — are cache hits
+without ever touching the encoder.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from threading import Lock
+
+import numpy as np
+
+from ..core.features import TreeFeatures
+
+__all__ = ["canonical_key", "LruCache"]
+
+
+def canonical_key(features: TreeFeatures) -> str:
+    """Digest of the canonicalized AST (kinds + topology).
+
+    Pre-order numbering makes the ``(node_ids, parent)`` pair a
+    canonical form: any two sources with the same simplified tree
+    produce byte-identical arrays here.
+    """
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(features.node_ids,
+                                       dtype=np.int64).tobytes())
+    digest.update(b"|")
+    digest.update(np.ascontiguousarray(features.schedule.parent,
+                                       dtype=np.int64).tobytes())
+    return digest.hexdigest()
+
+
+class LruCache:
+    """Thread-safe bounded LRU mapping (used for cached embeddings).
+
+    ``get`` refreshes recency; inserting beyond ``capacity`` evicts the
+    least-recently-used entry. ``capacity=0`` disables caching (every
+    lookup misses) without callers needing a special case.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._data: "OrderedDict[str, object]" = OrderedDict()
+        self._lock = Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def get(self, key: str):
+        """Value for ``key`` or ``None``; updates recency and counters."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: str, value) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "size": len(self._data), "capacity": self.capacity,
+                "hits": self.hits, "misses": self.misses,
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }

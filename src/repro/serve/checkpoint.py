@@ -1,0 +1,102 @@
+"""Versioned model checkpoints: one ``.npz``, zero caller-side config.
+
+A checkpoint bundles everything a fresh process needs to serve a
+trained :class:`~repro.core.ComparativeModel`:
+
+* the flat weight state dict (the arrays of ``Module.state_dict``),
+* the architecture config (``encoder_kind``, dims, layers, ...),
+* the node vocabulary (so featurization is bit-identical to training),
+* free-form user metadata (training accuracy, corpus tag, ...),
+
+all inside the single archive, using the JSON metadata header of
+:mod:`repro.nn.serialize`. ``load_checkpoint(path)`` therefore
+reconstructs a ready-to-predict model with no sidecar files and no
+re-specified hyper-parameters — the property the serving layer depends
+on for hot checkpoint swaps.
+
+The format is versioned (``CHECKPOINT_VERSION``); loaders reject
+checkpoints from a *newer* format than they understand rather than
+mis-reading them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..core.features import TreeFeaturizer
+from ..core.model import ComparativeModel, model_from_config
+from ..lang.vocab import NodeVocab
+from ..nn.serialize import load_state_with_meta, save_state
+
+__all__ = ["save_checkpoint", "load_checkpoint", "read_checkpoint_meta",
+           "NotACheckpointError", "CHECKPOINT_FORMAT", "CHECKPOINT_VERSION"]
+
+CHECKPOINT_FORMAT = "repro-model-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+class NotACheckpointError(ValueError):
+    """The archive is a plain state dict, not a versioned checkpoint.
+
+    Distinct from other ``ValueError``s (e.g. a *newer-version*
+    checkpoint) so callers can fall back to legacy formats without
+    masking real diagnostics.
+    """
+
+
+def save_checkpoint(model: ComparativeModel, path,
+                    extra: dict | None = None) -> Path:
+    """Write ``model`` (weights + config + vocab) to one ``.npz``.
+
+    ``model`` must carry the ``config`` dict that :func:`~repro.core.build_model`
+    attaches; hand-assembled models need to set it before checkpointing.
+    ``extra`` is any JSON-serializable user metadata (e.g. eval
+    accuracy); it is returned verbatim by :func:`read_checkpoint_meta`.
+    Returns the normalized path actually written.
+    """
+    config = getattr(model, "config", None)
+    if not isinstance(config, dict):
+        raise ValueError(
+            "model has no .config dict; build it with build_model()/"
+            "model_from_config() or set model.config before checkpointing")
+    meta = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "model": dict(config),
+        "vocab": model.featurizer.vocab.to_payload(),
+        "extra": dict(extra) if extra else {},
+    }
+    return save_state(model.state_dict(), path, meta=meta)
+
+
+def _validated_meta(meta: dict | None, path) -> dict:
+    if meta is None or meta.get("format") != CHECKPOINT_FORMAT:
+        raise NotACheckpointError(
+            f"{path} is not a {CHECKPOINT_FORMAT} archive (plain state "
+            "dicts load via repro.nn.serialize.load_state)")
+    version = meta.get("version")
+    if not isinstance(version, int) or version > CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint version {version!r} is newer than this loader "
+            f"(supports <= {CHECKPOINT_VERSION})")
+    return meta
+
+
+def load_checkpoint(path) -> ComparativeModel:
+    """Rebuild a ready model from a checkpoint written by
+    :func:`save_checkpoint` — architecture, vocabulary, and weights all
+    come from the archive."""
+    state, meta = load_state_with_meta(path)
+    meta = _validated_meta(meta, path)
+    vocab = NodeVocab.from_payload(meta["vocab"])
+    featurizer = TreeFeaturizer(vocab=vocab)
+    model = model_from_config(meta["model"], featurizer=featurizer)
+    model.load_state_dict(state)
+    model.eval()
+    return model
+
+
+def read_checkpoint_meta(path) -> dict:
+    """The checkpoint's metadata header (no model reconstruction)."""
+    _, meta = load_state_with_meta(path)
+    return _validated_meta(meta, path)

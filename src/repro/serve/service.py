@@ -1,0 +1,249 @@
+"""`PredictionService`: the long-lived facade over model + cache + batcher.
+
+One instance owns a trained :class:`~repro.core.ComparativeModel` (or
+loads one from a versioned checkpoint) and answers a stream of embed /
+compare / rank queries. Every request follows the same lifecycle::
+
+    source --featurize--> canonical key --cache?--> batcher --forest-->
+    embedding --classifier GEMM--> answer
+
+so the encoder — the only expensive stage — runs exactly once per
+*distinct canonical AST*, and always inside a fused forest batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from ..core.features import TreeFeatures
+from ..core.model import ComparativeModel
+from ..nn.tensor import Tensor, no_grad
+from .batcher import MicroBatcher
+from .cache import LruCache, canonical_key
+from .checkpoint import load_checkpoint
+
+__all__ = ["PredictionService"]
+
+
+class PredictionService:
+    """Online comparative-performance prediction over a resident model.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`~repro.core.ComparativeModel`.
+    max_batch, max_delay_ms:
+        Micro-batcher flush triggers (see :mod:`repro.serve.batcher`).
+    cache_size:
+        Capacity of the canonical-AST embedding LRU (0 disables).
+    threaded:
+        ``True`` starts the background flush worker (interactive /
+        multi-client serving); ``False`` runs the batcher inline, which
+        the bulk file mode uses to get maximal batches with no threads.
+    """
+
+    def __init__(self, model: ComparativeModel, max_batch: int = 32,
+                 max_delay_ms: float = 2.0, cache_size: int = 1024,
+                 threaded: bool = True):
+        self.model = model
+        model.eval()
+        self.cache = LruCache(cache_size)
+        self.batcher = MicroBatcher(self._encode_features,
+                                    max_batch=max_batch,
+                                    max_delay_ms=max_delay_ms,
+                                    start=threaded)
+        self._counts = {"embed": 0, "compare": 0, "rank": 0}
+        self._counts_lock = threading.Lock()
+        # TreeFeaturizer's memo-cache eviction is not thread-safe; all
+        # service-side featurization funnels through this lock so the
+        # threaded mode really can take concurrent clients.
+        self._featurize_lock = threading.Lock()
+        self._encode_time_s = 0.0
+        self._encoded_trees = 0
+        self._started = time.monotonic()
+
+    @classmethod
+    def from_checkpoint(cls, path, **kwargs) -> "PredictionService":
+        """Boot a service straight from a versioned checkpoint file."""
+        return cls(load_checkpoint(path), **kwargs)
+
+    def _count(self, op: str, by: int = 1) -> None:
+        with self._counts_lock:
+            self._counts[op] += by
+
+    # ------------------------------------------------------------------
+    # the encode stage handed to the batcher
+    # ------------------------------------------------------------------
+    def _encode_features(self, features_list: list[TreeFeatures]) -> np.ndarray:
+        start = time.perf_counter()
+        with no_grad():
+            rows = self.model.encoder.encode_batch(features_list).data.copy()
+        elapsed = time.perf_counter() - start
+        with self._counts_lock:
+            self._encode_time_s += elapsed
+            self._encoded_trees += len(features_list)
+        return rows
+
+    # ------------------------------------------------------------------
+    # embeddings (cache + batcher)
+    # ------------------------------------------------------------------
+    def _embed_sources(self, sources: list[str]) -> np.ndarray:
+        """Embeddings for ``sources`` (T, d): cache hits cost a lookup,
+        misses are submitted together so one fused flush covers them."""
+        out = np.empty((len(sources), self.model.encoder.output_size))
+        tickets: dict[str, object] = {}   # canonical key -> ticket
+        miss_rows: list[tuple[int, str]] = []
+        for i, source in enumerate(sources):
+            with self._featurize_lock:
+                features = self.model.featurizer(source)
+            key = canonical_key(features)
+            hit = self.cache.get(key)
+            if hit is not None:
+                out[i] = hit
+                continue
+            if key not in tickets:
+                tickets[key] = self.batcher.submit(features)
+            miss_rows.append((i, key))
+        resolved: dict[str, np.ndarray] = {}
+        for i, key in miss_rows:
+            if key not in resolved:
+                # copy: the resolved row is a view into its flush's
+                # whole (B, d) batch array, which a cache entry would
+                # otherwise pin for its lifetime
+                resolved[key] = np.array(tickets[key].result())
+                self.cache.put(key, resolved[key])
+            out[i] = resolved[key]
+        return out
+
+    def embed(self, source: str) -> np.ndarray:
+        """Latent code vector for one source (served from cache when the
+        canonical AST was seen before)."""
+        self._count("embed")
+        return self._embed_sources([source])[0]
+
+    def embed_many(self, sources: list[str]) -> np.ndarray:
+        """Bulk embeddings, (T, d); counts as ``len(sources)`` requests."""
+        self._count("embed", len(sources))
+        if not sources:
+            return np.zeros((0, self.model.encoder.output_size))
+        return self._embed_sources(sources)
+
+    def prewarm(self, sources: list[str]) -> int:
+        """Fill the embedding cache for ``sources`` in fused batches.
+
+        Used by the bulk serving path: encode every distinct tree of a
+        request file up front, then answer the requests from cache.
+        Sources the frontend rejects are skipped (the per-request path
+        reports their errors). Does not count toward the request
+        counters; returns how many trees actually hit the encoder.
+        """
+        with self._counts_lock:
+            before = self._encoded_trees
+        parseable = []
+        for source in dict.fromkeys(sources):
+            try:
+                with self._featurize_lock:
+                    self.model.featurizer(source)
+            except Exception:
+                continue
+            parseable.append(source)
+        if parseable:
+            self._embed_sources(parseable)
+        with self._counts_lock:
+            return self._encoded_trees - before
+
+    # ------------------------------------------------------------------
+    # comparisons
+    # ------------------------------------------------------------------
+    def compare(self, first: str, second: str) -> float:
+        """P(label=1) = P(first is slower-or-equal), exactly the
+        semantics of ``ComparativeModel.predict_probability`` — but the
+        two trees go through cache + one fused batch, not two encodes."""
+        self._count("compare")
+        z = self._embed_sources([first, second])
+        with no_grad():
+            logit = self.model.classifier.logit(Tensor(z[0]), Tensor(z[1]))
+            return float(logit.sigmoid().data)
+
+    def check_regression(self, old_source: str, new_source: str,
+                         threshold: float = 0.5) -> dict:
+        """The :class:`~repro.core.PerformanceGate` contract: probability
+        that the *new* version is slower, plus the flag decision."""
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        prob = self.compare(new_source, old_source)
+        return {"regression_probability": prob,
+                "flagged": prob >= threshold, "threshold": threshold}
+
+    def rank(self, candidates: list[str],
+             baseline: str | None = None) -> list[dict]:
+        """Order candidate versions fastest-first.
+
+        Every candidate is scored by its mean probability of being
+        slower than each other candidate (round-robin tournament, one
+        batched classifier GEMM); with ``baseline`` given, each entry
+        also reports ``p_slower_than_baseline``.
+        """
+        if not candidates:
+            raise ValueError("rank needs at least one candidate")
+        self._count("rank")
+        sources = list(candidates) + ([baseline] if baseline is not None else [])
+        z = self._embed_sources(sources)
+        n = len(candidates)
+        scores = np.full(n, 0.5)
+        if n > 1:
+            idx_i, idx_j = np.nonzero(~np.eye(n, dtype=bool))
+            with no_grad():
+                logits = self.model.classifier.logits(
+                    Tensor(z[idx_i]), Tensor(z[idx_j]))
+                probs = logits.sigmoid().data
+            scores = probs.reshape(n, n - 1).mean(axis=1)
+        vs_baseline = None
+        if baseline is not None:
+            with no_grad():
+                logits = self.model.classifier.logits(
+                    Tensor(z[:n]),
+                    Tensor(np.broadcast_to(z[n], (n, z.shape[1])).copy()))
+                vs_baseline = logits.sigmoid().data
+        report = []
+        for i in range(n):
+            entry = {"candidate": i, "score": float(scores[i])}
+            if vs_baseline is not None:
+                entry["p_slower_than_baseline"] = float(vs_baseline[i])
+            report.append(entry)
+        report.sort(key=lambda e: e["score"])
+        return report
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._counts_lock:
+            counts = dict(self._counts)
+            encoded_trees = self._encoded_trees
+            encode_time_s = self._encode_time_s
+        total = sum(counts.values())
+        return {
+            "requests": dict(counts, total=total),
+            "cache": self.cache.stats(),
+            "batcher": self.batcher.stats(),
+            "encoder": {
+                "trees_encoded": encoded_trees,
+                "encode_time_s": encode_time_s,
+                "trees_per_sec": (encoded_trees / encode_time_s
+                                  if encode_time_s > 0 else 0.0),
+            },
+            "uptime_s": time.monotonic() - self._started,
+        }
+
+    def close(self) -> None:
+        self.batcher.close()
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

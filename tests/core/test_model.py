@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    ComparativeModel, GcnEncoder, PairClassifier, TreeFeaturizer,
-    TreeLstmEncoder, build_model,
+    ENCODER_KINDS, ComparativeModel, GcnEncoder, LstmEncoder, PairClassifier,
+    TreeFeaturizer, TreeLstmEncoder, build_model, model_from_config,
 )
 
 FAST = "int main() { int n; cin >> n; cout << n * (n + 1) / 2; return 0; }"
@@ -54,6 +54,20 @@ class TestEncoders:
         states = enc.node_states(feats)
         assert states.shape == (feats.num_nodes, 8)
 
+    def test_lstm_output_shape(self, featurizer):
+        enc = LstmEncoder(len(featurizer.vocab), embedding_dim=8,
+                          hidden_size=9)
+        z = enc(featurizer(FAST))
+        assert z.shape == (9,)
+
+    def test_lstm_encode_batch_matches_single(self, featurizer):
+        enc = LstmEncoder(len(featurizer.vocab), embedding_dim=8,
+                          hidden_size=8)
+        feats = [featurizer(FAST), featurizer(SLOW)]
+        batched = enc.encode_batch(feats).data
+        for row, f in zip(batched, feats):
+            np.testing.assert_allclose(row, enc(f).data, atol=1e-12)
+
 
 class TestClassifier:
     def test_logit_scalar(self):
@@ -85,16 +99,36 @@ class TestClassifier:
 
 class TestComparativeModel:
     def test_build_model_variants(self):
-        for kind in ("treelstm", "gcn"):
+        for kind in ENCODER_KINDS:
             model = build_model(encoder_kind=kind, embedding_dim=8,
                                 hidden_size=8)
             assert isinstance(model, ComparativeModel)
             prob = model.predict_probability(FAST, SLOW)
             assert 0.0 < prob < 1.0
 
+    def test_model_from_config_rebuilds_architecture(self):
+        model = build_model(encoder_kind="gcn", embedding_dim=8,
+                            hidden_size=8, seed=5)
+        clone = model_from_config(model.config)
+        clone.load_state_dict(model.state_dict())
+        assert clone.predict_probability(FAST, SLOW) == pytest.approx(
+            model.predict_probability(FAST, SLOW))
+
+    def test_model_from_config_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown model config"):
+            model_from_config({"encoder_kind": "treelstm", "bogus": 1})
+
     def test_build_model_rejects_unknown(self):
         with pytest.raises(ValueError):
             build_model(encoder_kind="transformer")
+
+    def test_lstm_rejects_inapplicable_knobs(self):
+        """Knobs the sequential encoder cannot honour must not be
+        silently recorded in the checkpointed config."""
+        with pytest.raises(ValueError, match="single-layer"):
+            build_model(encoder_kind="lstm", num_layers=2)
+        with pytest.raises(ValueError, match="tree-LSTM knob"):
+            build_model(encoder_kind="lstm", direction="topdown")
 
     def test_predict_label_threshold(self):
         model = build_model(embedding_dim=8, hidden_size=8)
@@ -106,6 +140,32 @@ class TestComparativeModel:
         model = build_model(embedding_dim=8, hidden_size=8)
         vec = model.embed(FAST)
         assert vec.shape == (8,)
+
+    def test_embed_batch_deduplicates_repeats(self, monkeypatch):
+        """A repeated source must be encoded once and fanned back out."""
+        model = build_model(embedding_dim=8, hidden_size=8)
+        seen_batches = []
+        original = model.encoder.encode_batch
+
+        def spy(feats):
+            seen_batches.append(len(feats))
+            return original(feats)
+
+        monkeypatch.setattr(model.encoder, "encode_batch", spy)
+        out = model.embed_batch([FAST, SLOW, FAST, FAST, SLOW])
+        assert sum(seen_batches) == 2  # only the unique trees
+        assert out.shape == (5, 8)
+        np.testing.assert_array_equal(out[0], out[2])
+        np.testing.assert_array_equal(out[0], out[3])
+        np.testing.assert_array_equal(out[1], out[4])
+        np.testing.assert_allclose(out[0], model.embed(FAST), atol=1e-12)
+
+    def test_embed_batch_dedup_respects_batch_size(self):
+        model = build_model(embedding_dim=8, hidden_size=8)
+        sources = [FAST, SLOW] * 3
+        np.testing.assert_allclose(
+            model.embed_batch(sources, batch_size=1),
+            model.embed_batch(sources, batch_size=64), atol=1e-12)
 
     def test_probability_complementary_when_swapped_after_training(self):
         # Untrained models need not satisfy this; just check both orders
