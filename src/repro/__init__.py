@@ -9,10 +9,13 @@ Subpackages
 ``repro.corpus``  synthetic Codeforces-style submission corpus
 ``repro.data``    pair generation, labeling, sampling, splits
 ``repro.core``    the paper's pipeline: encoders, classifier, trainer, eval
+``repro.engine``  the single resumable, callback-driven training loop
 ``repro.tuning``  hyper-parameter search (Optuna stand-in)
+``repro.serve``   online prediction service over versioned checkpoints
 ``repro.viz``     t-SNE and terminal plotting for the figures
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["nn", "lang", "judge", "corpus", "data", "core", "tuning", "viz"]
+__all__ = ["nn", "lang", "judge", "corpus", "data", "core", "engine",
+           "tuning", "serve", "viz"]

@@ -6,10 +6,20 @@ surface::
 
     python -m repro collect --tags C F --per-problem 24 --out corpus.jsonl
     python -m repro stats   --db corpus.jsonl
-    python -m repro train   --db corpus.jsonl --tag C --out model.npz
+    python -m repro train   --db corpus.jsonl --tag C --out model.npz \
+                            --checkpoint-every 2
+    python -m repro train   --db corpus.jsonl --resume model.npz \
+                            --out model.npz          # finish a killed run
     python -m repro serve   --model model.npz < requests.jsonl
     python -m repro predict --db corpus.jsonl --tag C --model model.npz \
                             --old old.cpp --new new.cpp
+
+``repro train`` runs through the :mod:`repro.engine` training engine:
+``--checkpoint-every N`` writes a resumable format-v2 checkpoint
+(weights + optimizer moments + RNG stream + counters) every N epochs,
+and ``--resume ckpt`` continues a killed run **bitwise-identically** to
+an uninterrupted one (the checkpoint carries the experiment recipe, so
+only ``--db`` must be re-supplied).
 
 ``repro serve``
 ---------------
@@ -76,14 +86,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     train = sub.add_parser("train", help="train a comparative model")
     train.add_argument("--db", required=True)
-    train.add_argument("--tag", required=True)
+    train.add_argument("--tag", default=None,
+                       help="problem tag (required unless --resume, which "
+                            "recovers it from the checkpoint)")
+    # model/data knobs default to None so --resume can tell "explicitly
+    # passed" (must match the checkpoint) from "left to default"
     train.add_argument("--encoder", choices=list(ENCODER_KINDS),
-                       default="treelstm")
-    train.add_argument("--epochs", type=int, default=6)
-    train.add_argument("--pairs", type=int, default=100)
-    train.add_argument("--embedding-dim", type=int, default=16)
-    train.add_argument("--hidden", type=int, default=16)
-    train.add_argument("--seed", type=int, default=0)
+                       default=None, help="(default: treelstm)")
+    train.add_argument("--epochs", type=int, default=None,
+                       help="epoch budget (default 6; with --resume, "
+                            "extends the stored budget when larger)")
+    train.add_argument("--pairs", type=int, default=None,
+                       help="(default: 100)")
+    train.add_argument("--embedding-dim", type=int, default=None,
+                       help="(default: 16)")
+    train.add_argument("--hidden", type=int, default=None,
+                       help="(default: 16)")
+    train.add_argument("--seed", type=int, default=None,
+                       help="(default: 0)")
+    train.add_argument("--resume", default=None, metavar="CKPT",
+                       help="continue a killed run from its training "
+                            "checkpoint (bitwise-identical to an "
+                            "uninterrupted run)")
+    train.add_argument("--checkpoint-every", type=int, default=0,
+                       metavar="N",
+                       help="write a resumable training checkpoint to "
+                            "--out every N epochs (0 disables)")
     train.add_argument("--out", required=True)
 
     predict = sub.add_parser("predict",
@@ -104,6 +132,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bulk mode: response file (default: stdout)")
     serve.add_argument("--max-batch", type=int, default=32)
     serve.add_argument("--cache-size", type=int, default=1024)
+    serve.add_argument("--cache-max-nodes", type=int, default=None,
+                       help="admission threshold: trees with more AST "
+                            "nodes are served but never cached")
     serve.add_argument("--stats", action="store_true",
                        help="print service counters to stderr on exit")
     return parser
@@ -134,29 +165,122 @@ def _cmd_stats(args) -> int:
     return 0
 
 
-def _cmd_train(args) -> int:
-    db = SubmissionDatabase.load(args.db)
-    subs = db.submissions(args.tag)
-    config = ExperimentConfig(
-        encoder_kind=args.encoder, embedding_dim=args.embedding_dim,
-        hidden_size=args.hidden, train_pairs=args.pairs,
-        eval_pairs=max(20, args.pairs // 2), seed=args.seed,
-        train=TrainConfig(epochs=args.epochs, seed=args.seed))
-    result = run_experiment(subs, config)
-    from .serve.checkpoint import save_checkpoint
+def _first(*values):
+    """First non-None value (None-aware fallback chain)."""
+    for value in values:
+        if value is not None:
+            return value
+    return None
 
-    written = save_checkpoint(
-        result.trainer.model, args.out,
-        extra={"tag": args.tag, "train_pairs": args.pairs,
-               "epochs": args.epochs,
-               "accuracy": result.evaluation.accuracy})
+
+def _cmd_train(args) -> int:
+    from .engine import Checkpointing
+
+    db = SubmissionDatabase.load(args.db)
+    if args.resume:
+        # Everything a faithful continuation needs travels inside the
+        # checkpoint: architecture + vocab (model section), the
+        # TrainConfig/RNG/optimizer state (training section), and the
+        # experiment data recipe (extra section). The CLI only re-derives
+        # the pair sample, which is deterministic in the stored seed.
+        from .serve.checkpoint import read_checkpoint_meta
+
+        meta = read_checkpoint_meta(args.resume)
+        if not meta.get("training"):
+            raise SystemExit(f"{args.resume} is an inference-only "
+                             "checkpoint; it cannot resume training")
+        experiment = meta.get("extra", {}).get("experiment", {})
+        tag = args.tag or experiment.get("tag")
+        if not tag:
+            raise SystemExit("--tag is required (the checkpoint does not "
+                             "record one)")
+        model_cfg = meta["model"]
+        # A resume continues the checkpointed run; explicitly passed
+        # model/data flags that contradict it would be silently ignored
+        # otherwise, so refuse them. A flag whose value the checkpoint
+        # simply does not record (programmatic checkpoints without the
+        # CLI's experiment recipe) is accepted and used instead —
+        # mirroring how --tag falls back.
+        stored = {"--tag": (args.tag, experiment.get("tag")),
+                  "--encoder": (args.encoder, model_cfg["encoder_kind"]),
+                  "--embedding-dim": (args.embedding_dim,
+                                      model_cfg["embedding_dim"]),
+                  "--hidden": (args.hidden, model_cfg["hidden_size"]),
+                  "--pairs": (args.pairs, experiment.get("train_pairs")),
+                  "--seed": (args.seed, experiment.get("seed"))}
+        conflicts = [f"{flag} {given!r} (checkpoint: {kept!r})"
+                     for flag, (given, kept) in stored.items()
+                     if given is not None and kept is not None
+                     and given != kept]
+        if conflicts:
+            raise SystemExit(
+                "--resume continues the checkpointed run; conflicting "
+                "flags: " + ", ".join(conflicts) +
+                ". Drop them (or retrain from scratch).")
+        train_cfg = TrainConfig(**meta["training"]["config"])
+        if args.epochs is not None and args.epochs > train_cfg.epochs:
+            train_cfg.epochs = args.epochs
+        config = ExperimentConfig(
+            encoder_kind=model_cfg["encoder_kind"],
+            embedding_dim=model_cfg["embedding_dim"],
+            hidden_size=model_cfg["hidden_size"],
+            num_layers=model_cfg["num_layers"],
+            direction=model_cfg["direction"],
+            train_fraction=experiment.get("train_fraction", 0.75),
+            train_pairs=_first(experiment.get("train_pairs"), args.pairs,
+                               100),
+            eval_pairs=experiment.get("eval_pairs", 50),
+            two_way=experiment.get("two_way", False),
+            seed=_first(experiment.get("seed"), args.seed, 0),
+            train=train_cfg)
+        resume_from = args.resume
+    else:
+        if not args.tag:
+            raise SystemExit("--tag is required when not resuming")
+        tag = args.tag
+        epochs = _first(args.epochs, 6)
+        pairs = _first(args.pairs, 100)
+        seed = _first(args.seed, 0)
+        config = ExperimentConfig(
+            encoder_kind=_first(args.encoder, "treelstm"),
+            embedding_dim=_first(args.embedding_dim, 16),
+            hidden_size=_first(args.hidden, 16), train_pairs=pairs,
+            eval_pairs=max(20, pairs // 2), seed=seed,
+            train=TrainConfig(epochs=epochs, seed=seed))
+        resume_from = None
+
+    extra = {
+        "tag": tag,
+        "experiment": {
+            "tag": tag, "train_fraction": config.train_fraction,
+            "train_pairs": config.train_pairs,
+            "eval_pairs": config.eval_pairs, "two_way": config.two_way,
+            "seed": config.seed,
+        },
+    }
+    callbacks = []
+    if args.checkpoint_every:
+        # final_write=False: the CLI writes its own end-of-run checkpoint
+        # below (same path, plus the evaluation in extra)
+        callbacks.append(Checkpointing(args.out, every=args.checkpoint_every,
+                                       extra=extra, final_write=False))
+    subs = db.submissions(tag)
+    result = run_experiment(subs, config, callbacks=callbacks,
+                            resume_from=resume_from)
+
+    engine = result.trainer.engine
+    written = engine.save_checkpoint(
+        args.out, extra=dict(extra, epochs=engine.state.epoch,
+                             accuracy=result.evaluation.accuracy))
     # legacy sidecar, kept for pre-checkpoint tooling
-    meta = {"encoder": args.encoder, "embedding_dim": args.embedding_dim,
-            "hidden": args.hidden, "seed": args.seed,
+    meta = {"encoder": config.encoder_kind,
+            "embedding_dim": config.embedding_dim,
+            "hidden": config.hidden_size, "seed": config.seed,
             "accuracy": result.evaluation.accuracy}
     Path(args.out).with_suffix(".json").write_text(json.dumps(meta))
+    resumed = f" (resumed from {args.resume})" if args.resume else ""
     print(f"trained on {len(subs)} submissions; held-out accuracy="
-          f"{result.evaluation.accuracy:.3f}; model -> {written}")
+          f"{result.evaluation.accuracy:.3f}; model -> {written}{resumed}")
     return 0
 
 
@@ -236,7 +360,7 @@ def _cmd_serve(args) -> int:
     # embedding PredictionService directly).
     service = PredictionService.from_checkpoint(
         args.model, max_batch=args.max_batch, cache_size=args.cache_size,
-        threaded=False)
+        cache_max_nodes=args.cache_max_nodes, threaded=False)
     with service:
         if args.requests is not None:
             # Bulk mode: pre-encode every distinct tree of the file in

@@ -17,8 +17,9 @@ import numpy as np
 from ..corpus.problem import Submission
 from ..data.pairs import CodePair, sample_pairs
 from ..data.splits import split_submissions
+from ..engine import train_pairs_model
 from .evaluate import EvalResult, evaluate_on_pairs
-from .model import ComparativeModel, build_model
+from .model import ComparativeModel
 from .trainer import TrainConfig, Trainer
 
 __all__ = ["ExperimentConfig", "ExperimentResult", "run_experiment",
@@ -46,7 +47,7 @@ class ExperimentConfig:
 @dataclass
 class ExperimentResult:
     trainer: Trainer
-    evaluation: EvalResult
+    evaluation: EvalResult | None
     train_submissions: list[Submission]
     test_submissions: list[Submission]
     history: object
@@ -54,30 +55,40 @@ class ExperimentResult:
 
 def run_experiment(submissions: list[Submission],
                    config: ExperimentConfig | None = None,
-                   model: ComparativeModel | None = None) -> ExperimentResult:
-    """Split -> pair -> train -> evaluate on the disjoint test split."""
+                   model: ComparativeModel | None = None,
+                   callbacks=(),
+                   resume_from=None) -> ExperimentResult:
+    """Split -> pair -> train (via :mod:`repro.engine`) -> evaluate.
+
+    ``callbacks`` are extra engine callbacks (checkpointing, pruning,
+    custom instrumentation). ``resume_from`` continues a killed run from
+    its training checkpoint: the data split and pair sample are
+    re-derived deterministically from ``config.seed``, while weights,
+    optimizer moments, and the shuffle RNG come from the checkpoint —
+    so the finished run is bitwise-identical to an uninterrupted one.
+    Setting ``config.eval_pairs = 0`` skips the held-out evaluation
+    (``evaluation`` is then ``None``), which the paper-figure drivers
+    use when they score the model themselves later.
+    """
     config = config or ExperimentConfig()
     rng = np.random.default_rng(config.seed)
     train_subs, test_subs = split_submissions(
         submissions, config.train_fraction, rng)
     train_pairs = sample_pairs(train_subs, config.train_pairs, rng,
                                two_way=config.two_way)
-    test_pairs = sample_pairs(test_subs, config.eval_pairs, rng)
-    if model is None:
-        model = build_model(
-            encoder_kind=config.encoder_kind,
-            embedding_dim=config.embedding_dim,
-            hidden_size=config.hidden_size,
-            num_layers=config.num_layers,
-            direction=config.direction,
-            seed=config.seed,
-        )
-    trainer = Trainer(model, config.train)
-    history = trainer.fit(train_pairs)
-    evaluation = evaluate_on_pairs(trainer, test_pairs)
+    test_pairs = (sample_pairs(test_subs, config.eval_pairs, rng)
+                  if config.eval_pairs else [])
+    run = train_pairs_model(
+        train_pairs, train=config.train, callbacks=callbacks, model=model,
+        encoder_kind=config.encoder_kind, embedding_dim=config.embedding_dim,
+        hidden_size=config.hidden_size, num_layers=config.num_layers,
+        direction=config.direction, seed=config.seed,
+        resume_from=resume_from)
+    trainer = run.trainer
+    evaluation = evaluate_on_pairs(trainer, test_pairs) if test_pairs else None
     return ExperimentResult(trainer=trainer, evaluation=evaluation,
                             train_submissions=train_subs,
-                            test_submissions=test_subs, history=history)
+                            test_submissions=test_subs, history=run.history)
 
 
 class PerformanceGate:

@@ -1,146 +1,68 @@
-"""Training loop: mini-batch BCE over code pairs (paper Section IV-D).
+"""Trainer: the historical training facade, now a thin shell over
+:class:`repro.engine.Engine` (paper Section IV-D).
 
-Forest-batched training: each mini-batch's 2B trees are packed into one
-fused forest (:func:`repro.core.features.pack_forest`) and encoded by a
-single level-batched tree-LSTM sweep, so every optimizer step builds ONE
-forward+backward graph instead of 2B per-tree graphs. Featurization and
-tree scheduling happen once up front (``Trainer.fit`` prepares the pairs
-before the epoch loop, and schedules are memoized by tree structure), so
-epochs only pay for the numerics. Bulk inference
-(:meth:`Trainer.predict_probabilities`) batches the same way under
-``no_grad``.
+``Trainer.fit`` keeps its longstanding contract — mini-batch BCE over
+code pairs, forest-batched encoding, grad clipping, optional validation
+with early stopping, a fresh run per call — but the loop itself lives in
+:mod:`repro.engine`: one resumable, callback-instrumented engine shared
+by every driver, experiment, HPO trial, and CLI run. ``TrainConfig`` and
+``TrainHistory`` are re-exported from there unchanged, so existing
+imports keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
-from ..data.batching import iter_index_batches
 from ..data.pairs import CodePair
-from ..nn.loss import bce_with_logits
-from ..nn.optim import Adam, clip_grad_norm
-from ..nn.tensor import Tensor, no_grad
+from ..engine.loop import Engine, TrainConfig, TrainHistory
 from .model import ComparativeModel
 
 __all__ = ["TrainConfig", "TrainHistory", "Trainer"]
 
 
-@dataclass
-class TrainConfig:
-    epochs: int = 12
-    batch_size: int = 16
-    learning_rate: float = 5e-3
-    grad_clip: float = 5.0
-    seed: int = 0
-    early_stop_patience: int = 0   # 0 disables early stopping
-    verbose: bool = False
-    eval_batch_size: int = 64      # forest size for bulk inference
-
-
-@dataclass
-class TrainHistory:
-    losses: list[float] = field(default_factory=list)
-    val_accuracies: list[float] = field(default_factory=list)
-    grad_norms: list[float] = field(default_factory=list)
-    stopped_early: bool = False
-
-
 class Trainer:
-    """Optimizes a :class:`ComparativeModel` on labelled pairs."""
+    """Optimizes a :class:`ComparativeModel` on labelled pairs.
 
-    def __init__(self, model: ComparativeModel, config: TrainConfig | None = None):
-        self.model = model
-        self.config = config or TrainConfig()
-        self.optimizer = Adam(model.parameters(),
-                              lr=self.config.learning_rate)
+    Pass ``engine`` to wrap an existing (e.g. checkpoint-resumed)
+    engine instead of building a fresh one; ``model`` and ``config``
+    are then taken from it.
+    """
+
+    def __init__(self, model: ComparativeModel,
+                 config: TrainConfig | None = None,
+                 engine: Engine | None = None):
+        if engine is not None:
+            self.engine = engine
+            self.model = engine.model
+            self.config = engine.config
+        else:
+            self.config = config or TrainConfig()
+            self.engine = Engine(model, self.config)
+            self.model = model
+        self.optimizer = self.engine.optimizer
 
     # ------------------------------------------------------------------
+    # compatibility shims over the engine's internals (the perf
+    # microbenchmarks drive single steps through these)
+    # ------------------------------------------------------------------
     def _featurize_pairs(self, pairs: list[CodePair]):
-        featurize = self.model.featurizer
-        return [(featurize(p.first.source), featurize(p.second.source),
-                 p.label) for p in pairs]
+        return self.engine._featurize_pairs(pairs)
 
-    def _batch_loss(self, batch) -> Tensor:
-        # One fused forest encode for the whole batch: a single
-        # forward+backward graph instead of one per tree.
-        logits = self.model.pair_logits([(fi, fj) for fi, fj, _ in batch])
-        targets = np.array([label for _, _, label in batch], dtype=float)
-        return bce_with_logits(logits, targets)
+    def _batch_loss(self, batch):
+        return self.engine._batch_loss(batch)
 
     # ------------------------------------------------------------------
     def fit(self, train_pairs: list[CodePair],
             val_pairs: list[CodePair] | None = None) -> TrainHistory:
-        if not train_pairs:
-            raise ValueError("no training pairs")
-        cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
-        history = TrainHistory()
-        prepared = self._featurize_pairs(train_pairs)
-        best_val = -1.0
-        patience_left = cfg.early_stop_patience
-
-        for epoch in range(cfg.epochs):
-            epoch_loss = 0.0
-            batches = 0
-            for idx in iter_index_batches(len(prepared), cfg.batch_size,
-                                          rng=rng, shuffle=True):
-                batch = [prepared[int(k)] for k in idx]
-                self.optimizer.zero_grad()
-                loss = self._batch_loss(batch)
-                loss.backward()
-                norm = clip_grad_norm(self.model.parameters(), cfg.grad_clip)
-                history.grad_norms.append(norm)
-                self.optimizer.step()
-                epoch_loss += loss.item()
-                batches += 1
-            history.losses.append(epoch_loss / max(1, batches))
-
-            if val_pairs:
-                val_acc = self.evaluate_accuracy(val_pairs)
-                history.val_accuracies.append(val_acc)
-                if cfg.early_stop_patience > 0:
-                    if val_acc > best_val + 1e-9:
-                        best_val = val_acc
-                        patience_left = cfg.early_stop_patience
-                    else:
-                        patience_left -= 1
-                        if patience_left <= 0:
-                            history.stopped_early = True
-                            break
-            if cfg.verbose:  # pragma: no cover - logging only
-                msg = f"epoch {epoch + 1}/{cfg.epochs} loss={history.losses[-1]:.4f}"
-                if val_pairs:
-                    msg += f" val_acc={history.val_accuracies[-1]:.3f}"
-                print(msg)
-        return history
+        return self.engine.fit(train_pairs, val_pairs=val_pairs)
 
     # ------------------------------------------------------------------
     def predict_probabilities(self, pairs: list[CodePair],
                               batch_size: int | None = None) -> np.ndarray:
         """P(label=1) for every pair, forest-batched under ``no_grad``."""
-        if not pairs:
-            return np.zeros(0)
-        if batch_size is None:
-            batch_size = self.config.eval_batch_size
-        if batch_size < 1:
-            raise ValueError("batch_size must be positive")
-        featurize = self.model.featurizer
-        probs = np.empty(len(pairs))
-        with no_grad():
-            for start in range(0, len(pairs), batch_size):
-                chunk = pairs[start:start + batch_size]
-                feats = [(featurize(p.first.source), featurize(p.second.source))
-                         for p in chunk]
-                logits = self.model.pair_logits(feats)
-                probs[start:start + len(chunk)] = logits.sigmoid().data
-        return probs
+        return self.engine.predict_probabilities(pairs, batch_size=batch_size)
 
     def evaluate_accuracy(self, pairs: list[CodePair],
                           threshold: float = 0.5) -> float:
-        from .metrics import accuracy
-
-        probs = self.predict_probabilities(pairs)
-        labels = np.array([p.label for p in pairs])
-        return accuracy(labels, probs, threshold=threshold)
+        return self.engine.evaluate_accuracy(pairs, threshold=threshold)

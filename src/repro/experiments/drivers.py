@@ -14,13 +14,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..corpus import SubmissionDatabase, TABLE1_COUNTS
-from ..corpus.problem import Submission
 from ..core import (
-    TrainConfig, Trainer, build_model, evaluate_on_pairs, roc_curve,
-    sensitivity_curve,
+    ExperimentConfig, TrainConfig, Trainer, evaluate_on_pairs, roc_curve,
+    run_experiment, sensitivity_curve,
 )
+from ..corpus.problem import Submission
 from ..data import sample_pairs, split_submissions, subset_submissions
-from ..tuning import Study, TpeLiteSampler
+from ..engine import train_pairs_model
+from ..tuning import Study, TpeLiteSampler, TrialPruningCallback
 from ..viz import (
     box_summary, code_embedding_map, line_plot, node_embedding_atlas,
     scatter_plot, table,
@@ -62,24 +63,27 @@ def train_problem_model(submissions: list[Submission], profile: ScaleProfile,
                         direction: str = "alternating", seed: int = 0,
                         tag: str = "?", epochs: int | None = None,
                         two_way: bool = False) -> TrainedProblemModel:
-    """Split -> pair -> train one model; the unit every driver composes."""
-    rng = np.random.default_rng(seed)
-    train_subs, test_subs = split_submissions(submissions, 0.75, rng)
-    pairs = sample_pairs(train_subs, profile.train_pairs, rng,
-                         two_way=two_way)
-    model = build_model(
+    """Split -> pair -> train one model; the unit every driver composes.
+
+    A thin profile adapter over :func:`repro.core.run_experiment` (and
+    through it the single :mod:`repro.engine` loop): ``eval_pairs=0``
+    skips the pipeline's own held-out evaluation because the drivers
+    score their models against many pools afterwards.
+    """
+    config = ExperimentConfig(
         encoder_kind=encoder_kind, embedding_dim=profile.embedding_dim,
         hidden_size=profile.hidden_size, num_layers=num_layers,
-        direction=direction, seed=seed,
-    )
-    trainer = Trainer(model, TrainConfig(
-        epochs=epochs if epochs is not None else profile.epochs,
-        batch_size=profile.batch_size,
-        learning_rate=profile.learning_rate, seed=seed))
-    trainer.fit(pairs)
-    return TrainedProblemModel(tag=tag, trainer=trainer,
-                               train_submissions=train_subs,
-                               test_submissions=test_subs,
+        direction=direction, train_fraction=0.75,
+        train_pairs=profile.train_pairs, eval_pairs=0, two_way=two_way,
+        seed=seed,
+        train=TrainConfig(
+            epochs=epochs if epochs is not None else profile.epochs,
+            batch_size=profile.batch_size,
+            learning_rate=profile.learning_rate, seed=seed))
+    result = run_experiment(submissions, config)
+    return TrainedProblemModel(tag=tag, trainer=result.trainer,
+                               train_submissions=result.train_submissions,
+                               test_submissions=result.test_submissions,
                                encoder_kind=encoder_kind)
 
 
@@ -330,15 +334,16 @@ def run_fig5(table1_db: SubmissionDatabase, profile: ScaleProfile,
     test_pairs = sample_pairs(test_pool, profile.eval_pairs, rng)
 
     def train_eval(train_subs, n_pairs, two_way=False, run_seed=0):
+        # One engine call per ablation point: sample, train, score.
         local_rng = np.random.default_rng(run_seed)
         pairs = sample_pairs(train_subs, n_pairs, local_rng, two_way=two_way)
-        model = build_model(embedding_dim=profile.embedding_dim,
-                            hidden_size=profile.hidden_size, seed=run_seed)
-        trainer = Trainer(model, TrainConfig(
-            epochs=profile.epochs, batch_size=profile.batch_size,
-            learning_rate=profile.learning_rate, seed=run_seed))
-        trainer.fit(pairs)
-        return evaluate_on_pairs(trainer, test_pairs).accuracy
+        run = train_pairs_model(
+            pairs, embedding_dim=profile.embedding_dim,
+            hidden_size=profile.hidden_size, seed=run_seed,
+            train=TrainConfig(
+                epochs=profile.epochs, batch_size=profile.batch_size,
+                learning_rate=profile.learning_rate, seed=run_seed))
+        return evaluate_on_pairs(run.engine, test_pairs).accuracy
 
     submissions_curve = []
     for size in submission_sizes:
@@ -482,7 +487,17 @@ class HpoResult:
 
 
 def run_hpo(table1_db: SubmissionDatabase, profile: ScaleProfile,
-            tag: str = "C", n_trials: int = 6, seed: int = 0) -> HpoResult:
+            tag: str = "C", n_trials: int = 6, seed: int = 0,
+            pruner=None) -> HpoResult:
+    """Section V-C hyper-parameter search, every trial through the engine.
+
+    With a ``pruner`` (e.g. :class:`repro.tuning.MedianPruner`), each
+    trial trains with validation enabled and a
+    :class:`~repro.tuning.TrialPruningCallback` that reports per-epoch
+    accuracy and abandons runs the pruner rejects; ``None`` (default)
+    keeps the exhaustive behaviour the checked-in benchmark numbers
+    were recorded with.
+    """
     subs = table1_db.submissions(tag)
     rng = np.random.default_rng(seed)
     train_subs, test_subs = split_submissions(subs, 0.75, rng)
@@ -492,17 +507,21 @@ def run_hpo(table1_db: SubmissionDatabase, profile: ScaleProfile,
     def objective(trial):
         layers = trial.suggest_int("layers", 1, 8)
         hidden = trial.suggest_int("hidden", 8, 32)
-        model = build_model(encoder_kind="gcn",
-                            embedding_dim=profile.embedding_dim,
-                            hidden_size=hidden, num_layers=layers, seed=seed)
-        trainer = Trainer(model, TrainConfig(
-            epochs=max(2, profile.epochs // 2),
-            batch_size=profile.batch_size,
-            learning_rate=profile.learning_rate, seed=seed))
-        trainer.fit(train_pairs)
-        return evaluate_on_pairs(trainer, test_pairs).accuracy
+        run = train_pairs_model(
+            train_pairs, encoder_kind="gcn",
+            embedding_dim=profile.embedding_dim, hidden_size=hidden,
+            num_layers=layers, seed=seed,
+            val_pairs=test_pairs if pruner is not None else None,
+            callbacks=([TrialPruningCallback(trial)]
+                       if pruner is not None else ()),
+            train=TrainConfig(
+                epochs=max(2, profile.epochs // 2),
+                batch_size=profile.batch_size,
+                learning_rate=profile.learning_rate, seed=seed))
+        return evaluate_on_pairs(run.engine, test_pairs).accuracy
 
-    study = Study(direction="maximize", sampler=TpeLiteSampler(seed=seed))
+    study = Study(direction="maximize", sampler=TpeLiteSampler(seed=seed),
+                  pruner=pruner)
     study.optimize(objective, n_trials=n_trials)
 
     trained = train_problem_model(subs, profile, seed=seed, tag=tag)

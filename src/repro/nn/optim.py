@@ -3,6 +3,14 @@
 Training in the paper is standard mini-batch SGD-family optimization of the
 BCE objective; we provide SGD (+momentum), Adam, AdaGrad and RMSProp plus
 global-norm gradient clipping and step-decay learning-rate scheduling.
+
+Every optimizer is checkpointable: ``state_dict()`` returns the full
+update state (hyper-parameters, step counters, and the per-parameter
+moment/velocity arrays) and ``load_state_dict()`` restores it exactly,
+so a resumed training run (:mod:`repro.engine`) continues bitwise where
+it left off. ``optimizer_from_state`` rebuilds an optimizer of the right
+class from such a state — the construct-from-checkpoint half used by
+:mod:`repro.serve.checkpoint` format v2.
 """
 
 from __future__ import annotations
@@ -12,7 +20,7 @@ import numpy as np
 from .module import Parameter
 
 __all__ = ["Optimizer", "SGD", "Adam", "AdaGrad", "RMSProp",
-           "clip_grad_norm", "StepLR"]
+           "clip_grad_norm", "StepLR", "OPTIMIZERS", "optimizer_from_state"]
 
 
 class Optimizer:
@@ -32,6 +40,44 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Full update state: hypers, counters, per-parameter arrays."""
+        raise NotImplementedError
+
+    def load_state_dict(self, state: dict) -> None:
+        raise NotImplementedError
+
+    def _check_type(self, state: dict, expected: str) -> None:
+        kind = state.get("type", expected)
+        if kind != expected:
+            raise ValueError(
+                f"optimizer state is for {kind!r}, not {expected!r}")
+
+    def _restore_arrays(self, values) -> list[np.ndarray]:
+        """Validate and cast one per-parameter array list from a state.
+
+        Accepts any dtype numpy can cast to float64 (checkpoint files may
+        round-trip through float32 or integer arrays) but insists on one
+        array per parameter with matching shapes.
+        """
+        values = list(values)
+        if len(values) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state has {len(values)} arrays for "
+                f"{len(self.parameters)} parameters")
+        arrays = []
+        for value, p in zip(values, self.parameters):
+            arr = np.asarray(value, dtype=np.float64)
+            if arr.shape != p.data.shape:
+                raise ValueError(
+                    f"optimizer state shape {arr.shape} does not match "
+                    f"parameter shape {p.data.shape}")
+            arrays.append(arr.copy())
+        return arrays
 
 
 class SGD(Optimizer):
@@ -56,6 +102,18 @@ class SGD(Optimizer):
                 vel += grad
                 grad = vel
             p.data -= self.lr * grad
+
+    def state_dict(self) -> dict:
+        return {"type": "sgd", "lr": self.lr, "momentum": self.momentum,
+                "weight_decay": self.weight_decay,
+                "velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._check_type(state, "sgd")
+        self.lr = float(state["lr"])
+        self.momentum = float(state["momentum"])
+        self.weight_decay = float(state["weight_decay"])
+        self._velocity = self._restore_arrays(state["velocity"])
 
 
 class Adam(Optimizer):
@@ -88,6 +146,23 @@ class Adam(Optimizer):
             v += (1.0 - b2) * grad * grad
             p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
 
+    def state_dict(self) -> dict:
+        return {"type": "adam", "lr": self.lr,
+                "betas": [self.beta1, self.beta2], "eps": self.eps,
+                "weight_decay": self.weight_decay, "t": self._t,
+                "m": [m.copy() for m in self._m],
+                "v": [v.copy() for v in self._v]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._check_type(state, "adam")
+        self.lr = float(state["lr"])
+        self.beta1, self.beta2 = (float(b) for b in state["betas"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        self._t = int(state["t"])
+        self._m = self._restore_arrays(state["m"])
+        self._v = self._restore_arrays(state["v"])
+
 
 class AdaGrad(Optimizer):
     def __init__(self, parameters, lr: float = 0.01, eps: float = 1e-10):
@@ -101,6 +176,16 @@ class AdaGrad(Optimizer):
                 continue
             acc += p.grad * p.grad
             p.data -= self.lr * p.grad / (np.sqrt(acc) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {"type": "adagrad", "lr": self.lr, "eps": self.eps,
+                "accum": [a.copy() for a in self._accum]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._check_type(state, "adagrad")
+        self.lr = float(state["lr"])
+        self.eps = float(state["eps"])
+        self._accum = self._restore_arrays(state["accum"])
 
 
 class RMSProp(Optimizer):
@@ -118,6 +203,33 @@ class RMSProp(Optimizer):
             sq *= self.alpha
             sq += (1.0 - self.alpha) * p.grad * p.grad
             p.data -= self.lr * p.grad / (np.sqrt(sq) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {"type": "rmsprop", "lr": self.lr, "alpha": self.alpha,
+                "eps": self.eps, "sq": [s.copy() for s in self._sq]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._check_type(state, "rmsprop")
+        self.lr = float(state["lr"])
+        self.alpha = float(state["alpha"])
+        self.eps = float(state["eps"])
+        self._sq = self._restore_arrays(state["sq"])
+
+
+#: state_dict ``type`` tag -> optimizer class (checkpoint reconstruction).
+OPTIMIZERS: dict[str, type] = {"sgd": SGD, "adam": Adam,
+                               "adagrad": AdaGrad, "rmsprop": RMSProp}
+
+
+def optimizer_from_state(parameters, state: dict) -> Optimizer:
+    """Rebuild an optimizer over ``parameters`` from a ``state_dict``."""
+    kind = state.get("type")
+    if kind not in OPTIMIZERS:
+        raise ValueError(f"unknown optimizer type {kind!r} "
+                         f"(supported: {sorted(OPTIMIZERS)})")
+    optimizer = OPTIMIZERS[kind](parameters, lr=float(state["lr"]))
+    optimizer.load_state_dict(state)
+    return optimizer
 
 
 def clip_grad_norm(parameters, max_norm: float) -> float:

@@ -18,6 +18,7 @@ Two layers live here:
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -25,7 +26,7 @@ import numpy as np
 from .module import Module
 
 __all__ = [
-    "save_state", "load_state", "load_state_with_meta",
+    "save_state", "load_state", "load_state_with_meta", "load_meta",
     "save_module", "load_module", "METADATA_KEY",
 ]
 
@@ -46,6 +47,11 @@ def save_state(state: dict, path, meta: dict | None = None) -> Path:
     ``meta`` must be JSON-serializable; it is stored under the reserved
     ``__meta__`` key, which therefore cannot be a state-dict entry.
     Returns the normalized path actually written.
+
+    The write is **atomic** (temp file + ``os.replace``): periodic
+    training checkpoints overwrite their previous resume point in
+    place, and a kill mid-write — the exact event checkpoints exist
+    for — must never destroy the last good one.
     """
     if METADATA_KEY in state:
         raise ValueError(f"state key {METADATA_KEY!r} is reserved for metadata")
@@ -55,7 +61,13 @@ def save_state(state: dict, path, meta: dict | None = None) -> Path:
     if meta is not None:
         arrays[METADATA_KEY] = np.frombuffer(
             json.dumps(meta).encode("utf-8"), dtype=np.uint8)
-    np.savez(path, **arrays)
+    # .npz-suffixed staging name so np.savez writes it verbatim
+    staging = path.with_name(path.name + ".tmp.npz")
+    try:
+        np.savez(staging, **arrays)
+        os.replace(staging, path)
+    finally:
+        staging.unlink(missing_ok=True)
     return path
 
 
@@ -65,14 +77,34 @@ def load_state(path) -> dict:
     return state
 
 
-def load_state_with_meta(path) -> tuple[dict, dict | None]:
-    """Arrays plus the decoded ``meta`` dict (``None`` when absent)."""
+def load_state_with_meta(path, skip_prefix: str | None = None
+                         ) -> tuple[dict, dict | None]:
+    """Arrays plus the decoded ``meta`` dict (``None`` when absent).
+
+    ``skip_prefix`` drops matching keys *without materializing them* —
+    npz members decompress lazily, so an inference load can ignore a v2
+    training checkpoint's optimizer arrays at zero read cost.
+    """
     with np.load(_normalize(path)) as archive:
-        state = {k: archive[k] for k in archive.files if k != METADATA_KEY}
+        state = {k: archive[k] for k in archive.files
+                 if k != METADATA_KEY
+                 and not (skip_prefix and k.startswith(skip_prefix))}
         meta = None
         if METADATA_KEY in archive.files:
             meta = json.loads(archive[METADATA_KEY].tobytes().decode("utf-8"))
     return state, meta
+
+
+def load_meta(path) -> dict | None:
+    """Only the metadata header — no weight arrays are materialized.
+
+    ``npz`` members load lazily, so peeking at a checkpoint's version or
+    training progress through this stays cheap even for large models.
+    """
+    with np.load(_normalize(path)) as archive:
+        if METADATA_KEY not in archive.files:
+            return None
+        return json.loads(archive[METADATA_KEY].tobytes().decode("utf-8"))
 
 
 def save_module(module: Module, path, meta: dict | None = None) -> None:

@@ -42,21 +42,26 @@ walks the same lifecycle::
 Checkpoints (:mod:`~repro.serve.checkpoint`) bundle weights + encoder
 config + vocabulary into one versioned ``.npz`` so
 ``PredictionService.from_checkpoint(path)`` boots with no sidecar
-config. The CLI front door is ``python -m repro serve`` (JSONL over
-stdin/stdout, or bulk ``--requests``/``--out`` files).
+config; format v2 additionally carries resumable training state
+(optimizer moments, RNG stream, counters) for :mod:`repro.engine`,
+and still loads here for inference. The CLI front door is
+``python -m repro serve`` (JSONL over stdin/stdout, or bulk
+``--requests``/``--out`` files).
 """
 
 from .batcher import MicroBatcher, Ticket
 from .cache import LruCache, canonical_key
 from .checkpoint import (
-    CHECKPOINT_FORMAT, CHECKPOINT_VERSION, NotACheckpointError,
-    load_checkpoint, read_checkpoint_meta, save_checkpoint,
+    CHECKPOINT_FORMAT, CHECKPOINT_VERSION, TRAINING_KEY_PREFIX,
+    NotACheckpointError, load_checkpoint, load_training_checkpoint,
+    read_checkpoint_meta, save_checkpoint, save_training_checkpoint,
 )
 from .service import PredictionService
 
 __all__ = [
     "PredictionService", "MicroBatcher", "Ticket", "LruCache",
     "canonical_key", "save_checkpoint", "load_checkpoint",
+    "save_training_checkpoint", "load_training_checkpoint",
     "read_checkpoint_meta", "NotACheckpointError", "CHECKPOINT_FORMAT",
-    "CHECKPOINT_VERSION",
+    "CHECKPOINT_VERSION", "TRAINING_KEY_PREFIX",
 ]

@@ -104,6 +104,12 @@ class MicroBatcher:
         self.items = 0
         self.unique_items = 0
         self.largest_batch = 0
+        # backpressure instrumentation: deepest the queue ever got, and
+        # why each flush fired (size cap hit vs latency deadline vs
+        # explicit inline drain vs close-time tail drain)
+        self.queue_depth_hwm = 0
+        self.flush_triggers = {"size": 0, "latency": 0, "inline": 0,
+                               "close": 0}
         self._worker: threading.Thread | None = None
         if start:
             self._worker = threading.Thread(target=self._run, daemon=True,
@@ -118,6 +124,8 @@ class MicroBatcher:
             if self._closed:
                 raise RuntimeError("batcher is closed")
             self._pending.append((ticket, time.monotonic()))
+            self.queue_depth_hwm = max(self.queue_depth_hwm,
+                                       len(self._pending))
             self._wakeup.notify_all()
         return ticket
 
@@ -138,7 +146,7 @@ class MicroBatcher:
                 del self._pending[:len(batch)]
             if not batch:
                 return resolved
-            self._encode_batch(batch)
+            self._encode_batch(batch, trigger="inline")
             resolved += len(batch)
 
     def close(self) -> None:
@@ -169,10 +177,13 @@ class MicroBatcher:
                 "unique_items": self.unique_items,
                 "largest_batch": self.largest_batch,
                 "mean_batch_size": mean, "pending": len(self._pending),
+                "queue_depth_hwm": self.queue_depth_hwm,
+                "flush_triggers": dict(self.flush_triggers),
             }
 
     # ------------------------------------------------------------------
-    def _encode_batch(self, batch: list[Ticket]) -> None:
+    def _encode_batch(self, batch: list[Ticket],
+                      trigger: str = "inline") -> None:
         """One fused encode for ``batch``, deduplicated and demuxed."""
         slot_of: dict[int, int] = {}
         unique: list = []
@@ -198,6 +209,7 @@ class MicroBatcher:
             self.items += len(batch)
             self.unique_items += len(unique)
             self.largest_batch = max(self.largest_batch, len(batch))
+            self.flush_triggers[trigger] += 1
         for ticket, value in zip(batch, results):
             ticket._resolve(value)
 
@@ -218,7 +230,13 @@ class MicroBatcher:
                     self._wakeup.wait(timeout=remaining)
                     if not self._pending:
                         break
+                if len(self._pending) >= self.max_batch:
+                    trigger = "size"
+                elif self._closed:
+                    trigger = "close"
+                else:
+                    trigger = "latency"
                 batch = [t for t, _ in self._pending[:self.max_batch]]
                 del self._pending[:len(batch)]
             if batch:
-                self._encode_batch(batch)
+                self._encode_batch(batch, trigger=trigger)

@@ -45,16 +45,27 @@ class LruCache:
     ``get`` refreshes recency; inserting beyond ``capacity`` evicts the
     least-recently-used entry. ``capacity=0`` disables caching (every
     lookup misses) without callers needing a special case.
+
+    ``admit_max_cost`` is the admission policy: a ``put`` whose ``cost``
+    exceeds it is counted and dropped instead of inserted, so one giant
+    entry (a huge AST's embedding) cannot evict a whole working set of
+    small ones. ``None`` admits everything; entries whose ``cost`` the
+    caller does not know are always admitted.
     """
 
-    def __init__(self, capacity: int = 1024):
+    def __init__(self, capacity: int = 1024,
+                 admit_max_cost: int | None = None):
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
+        if admit_max_cost is not None and admit_max_cost < 1:
+            raise ValueError("admit_max_cost must be positive (or None)")
         self.capacity = capacity
+        self.admit_max_cost = admit_max_cost
         self._data: "OrderedDict[str, object]" = OrderedDict()
         self._lock = Lock()
         self.hits = 0
         self.misses = 0
+        self.rejected = 0
 
     def __len__(self) -> int:
         return len(self._data)
@@ -73,8 +84,19 @@ class LruCache:
             self.misses += 1
             return None
 
-    def put(self, key: str, value) -> None:
+    def put(self, key: str, value, cost: int | None = None) -> None:
+        """Insert ``value`` unless the admission policy rejects it.
+
+        ``cost`` is the caller's size measure (node count for embedding
+        entries); it is only compared against ``admit_max_cost``, not
+        stored.
+        """
         if self.capacity == 0:
+            return
+        if (self.admit_max_cost is not None and cost is not None
+                and cost > self.admit_max_cost):
+            with self._lock:
+                self.rejected += 1
             return
         with self._lock:
             if key in self._data:
@@ -94,4 +116,6 @@ class LruCache:
                 "size": len(self._data), "capacity": self.capacity,
                 "hits": self.hits, "misses": self.misses,
                 "hit_rate": (self.hits / total) if total else 0.0,
+                "admit_max_cost": self.admit_max_cost,
+                "rejected": self.rejected,
             }

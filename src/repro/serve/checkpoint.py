@@ -14,25 +14,47 @@ reconstructs a ready-to-predict model with no sidecar files and no
 re-specified hyper-parameters — the property the serving layer depends
 on for hot checkpoint swaps.
 
-The format is versioned (``CHECKPOINT_VERSION``); loaders reject
-checkpoints from a *newer* format than they understand rather than
-mis-reading them.
+Format versions
+---------------
+* **v1** (PR 4): inference payload only — weights + config + vocab.
+* **v2**: adds an optional ``training`` section so a run can *resume*
+  bitwise-identically: the optimizer's full state (Adam moments and
+  step counter as extra arrays under the reserved ``__train__.``
+  prefix), the shuffle RNG's bit-generator state, epoch/step counters,
+  the metric history, and checkpoint-persistent callback state (e.g.
+  early-stopping patience). Written by
+  :func:`save_training_checkpoint` / ``Engine.save_checkpoint``.
+
+Both versions load for inference through :func:`load_checkpoint` (v2's
+training arrays are simply skipped); :func:`load_training_checkpoint`
+additionally rebuilds the optimizer and returns the training section.
+Loaders reject checkpoints from a *newer* format than they understand
+rather than mis-reading them.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
+import numpy as np
+
 from ..core.features import TreeFeaturizer
 from ..core.model import ComparativeModel, model_from_config
 from ..lang.vocab import NodeVocab
-from ..nn.serialize import load_state_with_meta, save_state
+from ..nn.optim import Optimizer, optimizer_from_state
+from ..nn.serialize import load_meta, load_state_with_meta, save_state
 
 __all__ = ["save_checkpoint", "load_checkpoint", "read_checkpoint_meta",
-           "NotACheckpointError", "CHECKPOINT_FORMAT", "CHECKPOINT_VERSION"]
+           "save_training_checkpoint", "load_training_checkpoint",
+           "NotACheckpointError", "CHECKPOINT_FORMAT", "CHECKPOINT_VERSION",
+           "TRAINING_KEY_PREFIX"]
 
 CHECKPOINT_FORMAT = "repro-model-checkpoint"
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+
+#: Archive keys under this prefix are training-only state (optimizer
+#: moment arrays), invisible to inference loads.
+TRAINING_KEY_PREFIX = "__train__."
 
 
 class NotACheckpointError(ValueError):
@@ -44,6 +66,22 @@ class NotACheckpointError(ValueError):
     """
 
 
+def _model_meta(model: ComparativeModel, extra: dict | None,
+                version: int = 1) -> dict:
+    config = getattr(model, "config", None)
+    if not isinstance(config, dict):
+        raise ValueError(
+            "model has no .config dict; build it with build_model()/"
+            "model_from_config() or set model.config before checkpointing")
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "version": version,
+        "model": dict(config),
+        "vocab": model.featurizer.vocab.to_payload(),
+        "extra": dict(extra) if extra else {},
+    }
+
+
 def save_checkpoint(model: ComparativeModel, path,
                     extra: dict | None = None) -> Path:
     """Write ``model`` (weights + config + vocab) to one ``.npz``.
@@ -53,20 +91,44 @@ def save_checkpoint(model: ComparativeModel, path,
     ``extra`` is any JSON-serializable user metadata (e.g. eval
     accuracy); it is returned verbatim by :func:`read_checkpoint_meta`.
     Returns the normalized path actually written.
+
+    The archive is stamped **version 1**: an inference-only payload uses
+    no v2 feature, so v1-era readers stay able to load it. Only
+    :func:`save_training_checkpoint` (which adds the training section)
+    stamps version 2.
     """
-    config = getattr(model, "config", None)
-    if not isinstance(config, dict):
-        raise ValueError(
-            "model has no .config dict; build it with build_model()/"
-            "model_from_config() or set model.config before checkpointing")
-    meta = {
-        "format": CHECKPOINT_FORMAT,
-        "version": CHECKPOINT_VERSION,
-        "model": dict(config),
-        "vocab": model.featurizer.vocab.to_payload(),
-        "extra": dict(extra) if extra else {},
-    }
-    return save_state(model.state_dict(), path, meta=meta)
+    return save_state(model.state_dict(), path,
+                      meta=_model_meta(model, extra, version=1))
+
+
+def save_training_checkpoint(engine, path, extra: dict | None = None) -> Path:
+    """Write a **resumable** checkpoint for a mid-run training engine.
+
+    ``engine`` is a :class:`repro.engine.Engine` (duck-typed: ``model``,
+    ``optimizer``, ``training_state()``). The archive carries the full
+    v1 inference payload plus the optimizer's moment arrays (under
+    ``__train__.opt.<key>.<index>``) and a JSON ``training`` section
+    with the RNG stream, counters, history, and callback state —
+    everything :func:`load_training_checkpoint` needs to continue the
+    run bitwise-identically.
+    """
+    meta = _model_meta(engine.model, extra, version=CHECKPOINT_VERSION)
+    training = engine.training_state()
+    optimizer_state = engine.optimizer.state_dict()
+    arrays = dict(engine.model.state_dict())
+    optimizer_meta = {}
+    array_lists = {}
+    for key, value in optimizer_state.items():
+        if isinstance(value, list) and value and isinstance(value[0], np.ndarray):
+            array_lists[key] = len(value)
+            for i, arr in enumerate(value):
+                arrays[f"{TRAINING_KEY_PREFIX}opt.{key}.{i:04d}"] = arr
+        else:
+            optimizer_meta[key] = value
+    optimizer_meta["array_lists"] = array_lists
+    training["optimizer"] = optimizer_meta
+    meta["training"] = training
+    return save_state(arrays, path, meta=meta)
 
 
 def _validated_meta(meta: dict | None, path) -> dict:
@@ -82,21 +144,56 @@ def _validated_meta(meta: dict | None, path) -> dict:
     return meta
 
 
-def load_checkpoint(path) -> ComparativeModel:
-    """Rebuild a ready model from a checkpoint written by
-    :func:`save_checkpoint` — architecture, vocabulary, and weights all
-    come from the archive."""
-    state, meta = load_state_with_meta(path)
-    meta = _validated_meta(meta, path)
+def _rebuild_model(state: dict, meta: dict) -> ComparativeModel:
     vocab = NodeVocab.from_payload(meta["vocab"])
     featurizer = TreeFeaturizer(vocab=vocab)
     model = model_from_config(meta["model"], featurizer=featurizer)
-    model.load_state_dict(state)
+    weights = {k: v for k, v in state.items()
+               if not k.startswith(TRAINING_KEY_PREFIX)}
+    model.load_state_dict(weights)
+    return model
+
+
+def load_checkpoint(path) -> ComparativeModel:
+    """Rebuild a ready model from a checkpoint written by
+    :func:`save_checkpoint` (or a v2 training checkpoint, whose
+    training-only arrays are skipped without being read) —
+    architecture, vocabulary, and weights all come from the archive."""
+    state, meta = load_state_with_meta(path,
+                                       skip_prefix=TRAINING_KEY_PREFIX)
+    meta = _validated_meta(meta, path)
+    model = _rebuild_model(state, meta)
     model.eval()
     return model
 
 
+def load_training_checkpoint(path) -> tuple[ComparativeModel, Optimizer, dict]:
+    """Rebuild ``(model, optimizer, training_section)`` from a v2
+    training checkpoint, ready for ``Engine.from_checkpoint`` to resume.
+
+    The model comes back in *train* mode; the optimizer is
+    reconstructed from its recorded type/hyper-parameters with its
+    moment arrays and step counter restored exactly.
+    """
+    state, meta = load_state_with_meta(path)
+    meta = _validated_meta(meta, path)
+    training = meta.get("training")
+    if not training:
+        raise ValueError(
+            f"{path} is an inference-only checkpoint (no training state); "
+            "use load_checkpoint() or restart training from scratch")
+    model = _rebuild_model(state, meta)
+    model.train()
+    optimizer_meta = dict(training["optimizer"])
+    array_lists = optimizer_meta.pop("array_lists", {})
+    for key, count in array_lists.items():
+        optimizer_meta[key] = [
+            state[f"{TRAINING_KEY_PREFIX}opt.{key}.{i:04d}"]
+            for i in range(int(count))]
+    optimizer = optimizer_from_state(model.parameters(), optimizer_meta)
+    return model, optimizer, training
+
+
 def read_checkpoint_meta(path) -> dict:
-    """The checkpoint's metadata header (no model reconstruction)."""
-    _, meta = load_state_with_meta(path)
-    return _validated_meta(meta, path)
+    """The checkpoint's metadata header (no weight arrays are read)."""
+    return _validated_meta(load_meta(path), path)

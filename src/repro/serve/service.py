@@ -39,6 +39,11 @@ class PredictionService:
         Micro-batcher flush triggers (see :mod:`repro.serve.batcher`).
     cache_size:
         Capacity of the canonical-AST embedding LRU (0 disables).
+    cache_max_nodes:
+        Admission threshold: embeddings of trees with more AST nodes
+        than this are computed but never cached, so one giant tree
+        cannot evict a working set of small ones. ``None`` (default)
+        admits everything.
     threaded:
         ``True`` starts the background flush worker (interactive /
         multi-client serving); ``False`` runs the batcher inline, which
@@ -47,10 +52,11 @@ class PredictionService:
 
     def __init__(self, model: ComparativeModel, max_batch: int = 32,
                  max_delay_ms: float = 2.0, cache_size: int = 1024,
+                 cache_max_nodes: int | None = None,
                  threaded: bool = True):
         self.model = model
         model.eval()
-        self.cache = LruCache(cache_size)
+        self.cache = LruCache(cache_size, admit_max_cost=cache_max_nodes)
         self.batcher = MicroBatcher(self._encode_features,
                                     max_batch=max_batch,
                                     max_delay_ms=max_delay_ms,
@@ -95,6 +101,7 @@ class PredictionService:
         misses are submitted together so one fused flush covers them."""
         out = np.empty((len(sources), self.model.encoder.output_size))
         tickets: dict[str, object] = {}   # canonical key -> ticket
+        node_counts: dict[str, int] = {}  # canonical key -> tree size
         miss_rows: list[tuple[int, str]] = []
         for i, source in enumerate(sources):
             with self._featurize_lock:
@@ -106,6 +113,7 @@ class PredictionService:
                 continue
             if key not in tickets:
                 tickets[key] = self.batcher.submit(features)
+                node_counts[key] = features.num_nodes
             miss_rows.append((i, key))
         resolved: dict[str, np.ndarray] = {}
         for i, key in miss_rows:
@@ -114,7 +122,9 @@ class PredictionService:
                 # whole (B, d) batch array, which a cache entry would
                 # otherwise pin for its lifetime
                 resolved[key] = np.array(tickets[key].result())
-                self.cache.put(key, resolved[key])
+                # node count = admission cost: oversized trees are
+                # served but never cached
+                self.cache.put(key, resolved[key], cost=node_counts[key])
             out[i] = resolved[key]
         return out
 

@@ -1,7 +1,15 @@
-"""Hyper-parameter optimization (Optuna stand-in, paper Section V-C)."""
+"""Hyper-parameter optimization (Optuna stand-in, paper Section V-C).
+
+Trials train through :class:`repro.engine.Engine`; attach a
+:class:`TrialPruningCallback` to report per-epoch validation metrics
+and let a :class:`MedianPruner` abandon dead-end configurations early.
+"""
 
 from .samplers import RandomSampler, TpeLiteSampler
-from .search import FrozenTrial, Study, Trial, TrialPruned
+from .search import (
+    FrozenTrial, MedianPruner, Study, Trial, TrialPruned,
+    TrialPruningCallback,
+)
 
-__all__ = ["Study", "Trial", "FrozenTrial", "TrialPruned",
-           "RandomSampler", "TpeLiteSampler"]
+__all__ = ["Study", "Trial", "FrozenTrial", "TrialPruned", "MedianPruner",
+           "TrialPruningCallback", "RandomSampler", "TpeLiteSampler"]

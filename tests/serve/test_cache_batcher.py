@@ -82,6 +82,41 @@ class TestLruCache:
             LruCache(-1)
 
 
+class TestAdmissionPolicy:
+    def test_giant_entry_cannot_evict_working_set(self):
+        """One oversized tree must not push a working set of small ones
+        out of the LRU — it is simply never admitted."""
+        cache = LruCache(3, admit_max_cost=100)
+        for key in ("a", "b", "c"):
+            cache.put(key, key.upper(), cost=10)
+        cache.put("giant", "G", cost=5000)       # rejected, no eviction
+        assert "giant" not in cache
+        assert all(key in cache for key in ("a", "b", "c"))
+        assert cache.stats()["rejected"] == 1
+        assert cache.stats()["admit_max_cost"] == 100
+
+    def test_at_threshold_is_admitted(self):
+        cache = LruCache(4, admit_max_cost=100)
+        cache.put("edge", 1, cost=100)           # == threshold: admitted
+        assert cache.get("edge") == 1
+        assert cache.stats()["rejected"] == 0
+
+    def test_unknown_cost_is_admitted(self):
+        cache = LruCache(4, admit_max_cost=10)
+        cache.put("unsized", 1)                  # no cost supplied
+        assert cache.get("unsized") == 1
+
+    def test_no_threshold_admits_everything(self):
+        cache = LruCache(4)
+        cache.put("huge", 1, cost=10 ** 9)
+        assert cache.get("huge") == 1
+        assert cache.stats()["admit_max_cost"] is None
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            LruCache(4, admit_max_cost=0)
+
+
 def rows_for(items):
     """Toy encode: row i carries items[i] so demux is checkable."""
     return np.asarray([[float(x)] for x in items])
@@ -198,3 +233,41 @@ class TestMicroBatcherThreaded:
         ticket = batcher.submit(2)
         batcher.close()                  # must not strand the pending item
         assert ticket.result(timeout=1.0)[0] == 2.0
+
+
+class TestBackpressureCounters:
+    def test_queue_depth_high_water_mark(self):
+        with MicroBatcher(rows_for, max_batch=32, start=False) as batcher:
+            tickets = [batcher.submit(v) for v in range(5)]
+            assert batcher.stats()["queue_depth_hwm"] == 5
+            batcher.flush()
+            for t in tickets:
+                t.result()
+            # the mark records the worst backlog ever, not the current one
+            assert batcher.stats()["queue_depth_hwm"] == 5
+            assert batcher.stats()["pending"] == 0
+
+    def test_inline_flush_trigger_counted(self):
+        with MicroBatcher(rows_for, max_batch=4, start=False) as batcher:
+            for v in range(10):
+                batcher.submit(v)
+            batcher.flush()
+        triggers = batcher.stats()["flush_triggers"]
+        assert triggers["inline"] == 3           # 4 + 4 + 2
+        assert triggers["size"] == triggers["latency"] == 0
+
+    def test_size_trigger_counted(self):
+        with MicroBatcher(rows_for, max_batch=4,
+                          max_delay_ms=5000.0) as batcher:
+            tickets = [batcher.submit(v) for v in range(4)]
+            for t in tickets:
+                t.result(timeout=10.0)
+            assert batcher.stats()["flush_triggers"]["size"] == 1
+            assert batcher.stats()["flush_triggers"]["latency"] == 0
+
+    def test_latency_trigger_counted(self):
+        with MicroBatcher(rows_for, max_batch=64,
+                          max_delay_ms=5.0) as batcher:
+            batcher.submit(1).result(timeout=10.0)
+            assert batcher.stats()["flush_triggers"]["latency"] == 1
+            assert batcher.stats()["flush_triggers"]["size"] == 0

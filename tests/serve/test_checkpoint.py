@@ -75,7 +75,8 @@ def test_meta_header_contents(tmp_path):
                            extra={"accuracy": 0.91, "tag": "C"})
     meta = read_checkpoint_meta(path)
     assert meta["format"] == CHECKPOINT_FORMAT
-    assert meta["version"] == CHECKPOINT_VERSION
+    # inference-only payloads use no v2 feature, so they stay v1-readable
+    assert meta["version"] == 1
     assert meta["model"]["encoder_kind"] == "gcn"
     assert meta["extra"] == {"accuracy": 0.91, "tag": "C"}
     assert len(meta["vocab"]["kinds"]) == model.config["vocab_size"] - 1
@@ -139,3 +140,81 @@ def test_model_without_config_refused(tmp_path):
     model = ComparativeModel(encoder, PairClassifier(8), featurizer)
     with pytest.raises(ValueError, match="no .config"):
         save_checkpoint(model, tmp_path / "m.npz")
+
+
+# ---------------------------------------------------------------------------
+# format v2: v1 back-compat and training-state handling
+# ---------------------------------------------------------------------------
+def _write_v1(model, path):
+    """A PR-4-era checkpoint: save_checkpoint still writes exactly that
+    (version 1, no training section) for inference-only payloads."""
+    written = save_checkpoint(model, path)
+    meta = read_checkpoint_meta(written)
+    assert meta["version"] == 1 and "training" not in meta
+    return written
+
+
+def test_v1_checkpoint_still_loads_for_inference(tmp_path):
+    model = build_model(embedding_dim=8, hidden_size=8, seed=3)
+    path = _write_v1(model, tmp_path / "v1.npz")
+    assert read_checkpoint_meta(path)["version"] == 1
+    loaded = load_checkpoint(path)
+    assert loaded.predict_probability(FAST, SLOW) == \
+        model.predict_probability(FAST, SLOW)
+
+
+def test_v1_checkpoint_refuses_training_resume(tmp_path):
+    from repro.serve import load_training_checkpoint
+
+    model = build_model(embedding_dim=8, hidden_size=8)
+    path = _write_v1(model, tmp_path / "v1.npz")
+    with pytest.raises(ValueError, match="inference-only"):
+        load_training_checkpoint(path)
+
+
+def test_training_checkpoint_roundtrips_optimizer_and_rng(tmp_path):
+    from repro.engine import Engine, TrainConfig
+    from repro.serve import (
+        TRAINING_KEY_PREFIX, load_training_checkpoint,
+        save_training_checkpoint,
+    )
+
+    model = build_model(embedding_dim=8, hidden_size=8, seed=1)
+    engine = Engine(model, TrainConfig(epochs=3, seed=7))
+    engine.rng.standard_normal(5)          # advance the stream mid-run
+    engine.optimizer._t = 11
+    for m in engine.optimizer._m:
+        m += 0.25
+    path = save_training_checkpoint(engine, tmp_path / "train.npz",
+                                    extra={"tag": "C"})
+    meta = read_checkpoint_meta(path)
+    assert meta["version"] == CHECKPOINT_VERSION == 2
+    assert meta["training"]["config"]["epochs"] == 3
+    assert meta["extra"]["tag"] == "C"
+
+    restored_model, optimizer, training = load_training_checkpoint(path)
+    assert optimizer._t == 11
+    for m_a, m_b in zip(engine.optimizer._m, optimizer._m):
+        np.testing.assert_array_equal(m_a, m_b)
+    # RNG stream continues exactly where the saved engine stood
+    np.testing.assert_array_equal(
+        engine.rng.standard_normal(3),
+        _generator_from(training["rng"]).standard_normal(3))
+    # training model stays in train mode; weights match bitwise
+    assert restored_model.training
+    for (name, a), (_, b) in zip(model.named_parameters(),
+                                 restored_model.named_parameters()):
+        assert np.array_equal(a.data, b.data), name
+    # moment arrays travel under the reserved prefix, invisible to
+    # the plain inference loader
+    from repro.nn.serialize import load_state_with_meta
+
+    state, _ = load_state_with_meta(path)
+    assert any(k.startswith(TRAINING_KEY_PREFIX) for k in state)
+    assert load_checkpoint(path).training is False
+
+
+def _generator_from(rng_state):
+    rng = np.random.default_rng(0)
+    rng.bit_generator.state = rng_state
+    return rng

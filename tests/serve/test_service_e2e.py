@@ -155,6 +155,35 @@ class TestCacheBehaviour:
         assert stats["encoder"]["trees_encoded"] == 4
         assert stats["cache"]["size"] == 2
 
+    def test_admission_threshold_keeps_giant_trees_out(self, model):
+        """A tree above --cache-max-nodes is served correctly but never
+        cached: re-embedding it re-encodes, while small trees keep
+        hitting."""
+        small, giant = variants(1)[0], variants(12)[-1]
+        small_nodes = model.featurizer(small).num_nodes
+        giant_nodes = model.featurizer(giant).num_nodes
+        threshold = (small_nodes + giant_nodes) // 2
+        with PredictionService(model, threaded=False, cache_size=8,
+                               cache_max_nodes=threshold) as svc:
+            first = svc.embed(giant)
+            np.testing.assert_array_equal(svc.embed(giant), first)
+            svc.embed(small)
+            svc.embed(small)
+            stats = svc.stats()
+        assert stats["encoder"]["trees_encoded"] == 3  # giant twice + small
+        assert stats["cache"]["rejected"] == 2
+        assert stats["cache"]["size"] == 1             # only the small tree
+
+    def test_stats_expose_batcher_backpressure(self, model):
+        with PredictionService(model, threaded=False) as svc:
+            svc.embed_many(variants(3))
+            stats = svc.stats()
+        batcher = stats["batcher"]
+        assert batcher["queue_depth_hwm"] == 3
+        assert batcher["flush_triggers"]["inline"] >= 1
+        assert set(batcher["flush_triggers"]) == {"size", "latency",
+                                                 "inline", "close"}
+
 
 class TestBenchArtifact:
     def test_warm_serving_beats_naive_by_3x_in_checked_in_bench(self):

@@ -3,6 +3,7 @@
 import json
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.cli import main
@@ -88,3 +89,75 @@ class TestTrainAndPredict:
                      "--old", str(same), "--new", str(same),
                      "--threshold", "0.99"])
         assert code == 0  # not flagged at an extreme threshold
+
+    def test_tag_required_without_resume(self, workspace, tmp_path):
+        _, db_path = workspace
+        with pytest.raises(SystemExit):
+            main(["train", "--db", str(db_path),
+                  "--out", str(tmp_path / "m.npz")])
+
+
+class TestResumeTraining:
+    """The CI resume-equivalence smoke, at the CLI surface: train 2
+    epochs -> checkpoint -> resume 2 more == straight 4 epochs."""
+
+    ARGS = ["--tag", "C", "--encoder", "gcn", "--pairs", "40"]
+
+    def test_resume_equals_straight_run(self, workspace, tmp_path, capsys):
+        from repro.serve import load_checkpoint, read_checkpoint_meta
+
+        _, db_path = workspace
+        straight = tmp_path / "straight.npz"
+        assert main(["train", "--db", str(db_path), *self.ARGS,
+                     "--epochs", "4", "--out", str(straight)]) == 0
+
+        # "Killed" run: a 2-epoch budget leaves a v2 checkpoint behind...
+        resumable = tmp_path / "resumable.npz"
+        assert main(["train", "--db", str(db_path), *self.ARGS,
+                     "--epochs", "2", "--checkpoint-every", "1",
+                     "--out", str(resumable)]) == 0
+        meta = read_checkpoint_meta(resumable)
+        assert meta["version"] == 2
+        assert meta["training"]["epoch"] == 2
+        assert meta["extra"]["experiment"]["tag"] == "C"
+
+        # ... which resumes (tag recovered from the checkpoint) to the
+        # full budget.
+        assert main(["train", "--db", str(db_path), "--resume",
+                     str(resumable), "--epochs", "4",
+                     "--out", str(resumable)]) == 0
+        assert "resumed from" in capsys.readouterr().out
+
+        reference = load_checkpoint(straight)
+        resumed = load_checkpoint(resumable)
+        for (name, a), (_, b) in zip(reference.named_parameters(),
+                                     resumed.named_parameters()):
+            assert np.array_equal(a.data, b.data), name
+        assert read_checkpoint_meta(resumable)["training"]["epoch"] == 4
+
+    def test_resume_rejects_conflicting_flags(self, workspace, tmp_path):
+        _, db_path = workspace
+        ckpt = tmp_path / "small.npz"
+        assert main(["train", "--db", str(db_path), *self.ARGS,
+                     "--epochs", "1", "--out", str(ckpt)]) == 0
+        with pytest.raises(SystemExit, match="conflicting.*--encoder"):
+            main(["train", "--db", str(db_path), "--resume", str(ckpt),
+                  "--encoder", "lstm", "--out", str(ckpt)])
+        with pytest.raises(SystemExit, match="conflicting.*--hidden"):
+            main(["train", "--db", str(db_path), "--resume", str(ckpt),
+                  "--hidden", "64", "--out", str(ckpt)])
+        with pytest.raises(SystemExit, match="conflicting.*--tag"):
+            main(["train", "--db", str(db_path), "--resume", str(ckpt),
+                  "--tag", "F", "--out", str(ckpt)])
+
+    def test_resume_rejects_inference_only_checkpoint(self, workspace,
+                                                      tmp_path):
+        from repro.core import build_model
+        from repro.serve import save_checkpoint
+
+        _, db_path = workspace
+        plain = save_checkpoint(build_model(embedding_dim=8, hidden_size=8),
+                                tmp_path / "plain.npz")
+        with pytest.raises(SystemExit, match="inference-only"):
+            main(["train", "--db", str(db_path), "--resume", str(plain),
+                  "--out", str(tmp_path / "out.npz")])
