@@ -137,6 +137,32 @@ def build_parser() -> argparse.ArgumentParser:
                             "nodes are served but never cached")
     serve.add_argument("--stats", action="store_true",
                        help="print service counters to stderr on exit")
+    # cluster mode (repro.serve.cluster): a supervised worker pool
+    # behind a TCP front door instead of one in-process service
+    serve.add_argument("--workers", type=int, default=0,
+                       help="cluster mode: number of supervised worker "
+                            "processes (0 = classic in-process serving)")
+    serve.add_argument("--listen", default="127.0.0.1:7311",
+                       metavar="HOST:PORT",
+                       help="cluster mode: TCP bind address "
+                            "(default: %(default)s)")
+    serve.add_argument("--watch", action="store_true",
+                       help="cluster mode: watch --model for new "
+                            "checkpoints and hot-swap workers "
+                            "(blue/green, zero downtime)")
+    serve.add_argument("--request-timeout-ms", type=float, default=10_000,
+                       help="cluster mode: per-request deadline")
+    serve.add_argument("--high-water", type=int, default=64,
+                       help="cluster mode: per-shard in-flight cap; "
+                            "beyond it requests get an 'overloaded' "
+                            "reply instead of queueing")
+    serve.add_argument("--stats-every", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="cluster mode: emit an aggregated stats "
+                            "JSONL line to stderr every N seconds")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="cluster mode: seed for supervised-restart "
+                            "backoff jitter")
     return parser
 
 
@@ -311,49 +337,42 @@ def _cmd_predict(args) -> int:
     return 0 if not report["flagged"] else 2
 
 
-def _serve_one(service, request: dict) -> dict:
-    """Answer one decoded JSONL request; never raises."""
-    response = {"ok": True}
-    if "id" in request:
-        response["id"] = request["id"]
-    try:
-        op = request.get("op")
-        if op == "embed":
-            response["embedding"] = service.embed(request["source"]).tolist()
-        elif op == "compare" and "old" in request:
-            response.update(service.check_regression(
-                request["old"], request["new"],
-                threshold=float(request.get("threshold", 0.5))))
-        elif op == "compare":
-            response["p_first_slower"] = service.compare(
-                request["first"], request["second"])
-        elif op == "rank":
-            response["ranking"] = service.rank(
-                request["candidates"], baseline=request.get("baseline"))
-        elif op == "stats":
-            response["stats"] = service.stats()
-        else:
-            raise ValueError(f"unknown op {op!r}")
-    except Exception as error:  # one bad request must not kill the stream
-        response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
-        if "id" in request:
-            response["id"] = request["id"]
-    return response
+def _cmd_serve_cluster(args) -> int:
+    """Cluster mode: supervised worker pool behind a TCP front door."""
+    from .serve.cluster import ClusterServer
+    from .serve.supervisor import SupervisorConfig
 
-
-def _request_sources(request: dict) -> list[str]:
-    """Every source string a request will need embedded (for prewarm)."""
-    sources = [request[k] for k in ("source", "old", "new", "first", "second")
-               if isinstance(request.get(k), str)]
-    if isinstance(request.get("candidates"), list):
-        sources.extend(s for s in request["candidates"] if isinstance(s, str))
-    if isinstance(request.get("baseline"), str):
-        sources.append(request["baseline"])
-    return sources
+    host, _, port = args.listen.rpartition(":")
+    config = SupervisorConfig(
+        request_timeout_ms=args.request_timeout_ms,
+        high_water=args.high_water, watch=args.watch, seed=args.seed,
+        stats_interval_ms=args.stats_every * 1000.0,
+        max_batch=args.max_batch, cache_size=args.cache_size,
+        cache_max_nodes=args.cache_max_nodes)
+    server = ClusterServer(
+        args.model, workers=args.workers, host=host or "127.0.0.1",
+        port=int(port), config=config,
+        stats_stream=sys.stderr if args.stats_every > 0 else None)
+    with server:
+        server.start()
+        bound_host, bound_port = server.address
+        watching = " (hot-swap watch on)" if args.watch else ""
+        print(f"cluster: {args.workers} workers on "
+              f"{bound_host}:{bound_port}{watching}", file=sys.stderr)
+        server.serve_forever()
+    if args.stats:
+        print(json.dumps(server.supervisor.stats(), indent=2),
+              file=sys.stderr)
+    return 0
 
 
 def _cmd_serve(args) -> int:
     from .serve import PredictionService
+    from .serve.protocol import error_reply, handle_request, \
+        request_sources, serve_lines, ERR_BAD_JSON
+
+    if args.workers:
+        return _cmd_serve_cluster(args)
 
     # The CLI drives the service sequentially, so the batcher runs
     # inline (the latency trigger only matters for concurrent clients
@@ -374,11 +393,12 @@ def _cmd_serve(args) -> int:
                     entries.append((json.loads(line), None))
                 except json.JSONDecodeError as error:
                     entries.append(
-                        (None, {"ok": False, "error": f"bad JSON: {error}"}))
+                        (None, error_reply(ERR_BAD_JSON,
+                                           f"bad JSON: {error}")))
             service.prewarm([s for r, _ in entries if r is not None
-                             for s in _request_sources(r)])
-            lines = [json.dumps(_serve_one(service, r) if r is not None
-                                else bad)
+                             for s in request_sources(r)])
+            lines = [json.dumps(handle_request(service, r)
+                                if r is not None else bad)
                      for r, bad in entries]
             payload = "\n".join(lines) + ("\n" if lines else "")
             if args.out is not None:
@@ -386,16 +406,10 @@ def _cmd_serve(args) -> int:
             else:
                 sys.stdout.write(payload)
         else:
-            # Stream mode: one request per stdin line, answer per line.
-            for line in sys.stdin:
-                if not line.strip():
-                    continue
-                try:
-                    request = json.loads(line)
-                except json.JSONDecodeError as error:
-                    response = {"ok": False, "error": f"bad JSON: {error}"}
-                else:
-                    response = _serve_one(service, request)
+            # Stream mode: one request per stdin line, answer per line
+            # (serve_lines is the hardened loop: any bad line becomes
+            # one structured error response, and the stream continues).
+            for response in serve_lines(service, sys.stdin):
                 sys.stdout.write(json.dumps(response) + "\n")
                 sys.stdout.flush()
         if args.stats:

@@ -53,15 +53,21 @@ from .batcher import MicroBatcher, Ticket
 from .cache import LruCache, canonical_key
 from .checkpoint import (
     CHECKPOINT_FORMAT, CHECKPOINT_VERSION, TRAINING_KEY_PREFIX,
-    NotACheckpointError, load_checkpoint, load_training_checkpoint,
-    read_checkpoint_meta, save_checkpoint, save_training_checkpoint,
+    NotACheckpointError, checkpoint_signature, load_checkpoint,
+    load_training_checkpoint, read_checkpoint_meta, save_checkpoint,
+    save_training_checkpoint,
 )
-from .service import PredictionService
+from .service import PredictionService, RequestSourceError
 
 __all__ = [
-    "PredictionService", "MicroBatcher", "Ticket", "LruCache",
-    "canonical_key", "save_checkpoint", "load_checkpoint",
+    "PredictionService", "RequestSourceError", "MicroBatcher", "Ticket",
+    "LruCache", "canonical_key", "save_checkpoint", "load_checkpoint",
     "save_training_checkpoint", "load_training_checkpoint",
-    "read_checkpoint_meta", "NotACheckpointError", "CHECKPOINT_FORMAT",
-    "CHECKPOINT_VERSION", "TRAINING_KEY_PREFIX",
+    "read_checkpoint_meta", "checkpoint_signature", "NotACheckpointError",
+    "CHECKPOINT_FORMAT", "CHECKPOINT_VERSION", "TRAINING_KEY_PREFIX",
 ]
+
+# The cluster tier (ClusterServer/ClusterClient/Supervisor/FaultPlan)
+# lives in submodules imported on demand — `from repro.serve.cluster
+# import ClusterServer` — so the common single-process import path does
+# not pay for socket/subprocess machinery.

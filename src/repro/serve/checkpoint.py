@@ -46,8 +46,8 @@ from ..nn.serialize import load_meta, load_state_with_meta, save_state
 
 __all__ = ["save_checkpoint", "load_checkpoint", "read_checkpoint_meta",
            "save_training_checkpoint", "load_training_checkpoint",
-           "NotACheckpointError", "CHECKPOINT_FORMAT", "CHECKPOINT_VERSION",
-           "TRAINING_KEY_PREFIX"]
+           "checkpoint_signature", "NotACheckpointError",
+           "CHECKPOINT_FORMAT", "CHECKPOINT_VERSION", "TRAINING_KEY_PREFIX"]
 
 CHECKPOINT_FORMAT = "repro-model-checkpoint"
 CHECKPOINT_VERSION = 2
@@ -197,3 +197,35 @@ def load_training_checkpoint(path) -> tuple[ComparativeModel, Optimizer, dict]:
 def read_checkpoint_meta(path) -> dict:
     """The checkpoint's metadata header (no weight arrays are read)."""
     return _validated_meta(load_meta(path), path)
+
+
+def checkpoint_signature(path) -> dict:
+    """Identity of one checkpoint *file*: content digest + header facts.
+
+    This is what the serving tier means by "model version". The engine
+    overwrites its periodic checkpoint path in place (atomically, via
+    ``save_state``'s temp-file + rename), so the path alone names a
+    *slot*, not a version; the content digest tells two writes to the
+    same slot apart, and the header's epoch/accuracy make the version
+    human-readable in stats streams and swap logs. Raises exactly like
+    :func:`read_checkpoint_meta` on a torn or corrupted archive — the
+    hot-swap watcher relies on that to reject bad files before any
+    worker restarts onto them.
+    """
+    import hashlib
+
+    path = Path(path)
+    if path.suffix != ".npz":                 # mirror save_state's naming
+        path = path.with_name(path.name + ".npz")
+    digest = hashlib.sha256(path.read_bytes()).hexdigest()[:12]
+    meta = read_checkpoint_meta(path)
+    extra = meta.get("extra", {})
+    signature = {"path": str(path), "sha": digest,
+                 "format_version": meta["version"]}
+    for key in ("epochs", "accuracy", "tag"):
+        if key in extra:
+            signature[key] = extra[key]
+    training = meta.get("training") or {}
+    if "epoch" in training:
+        signature["trained_epochs"] = training["epoch"]
+    return signature

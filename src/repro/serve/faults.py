@@ -1,0 +1,127 @@
+"""Deterministic fault injection for the serving cluster.
+
+The chaos suite does not "hope" a worker dies at an interesting moment —
+it *schedules* the death. A :class:`FaultPlan` is a JSON-serializable
+list of fault specs that a worker process evaluates on every request it
+handles::
+
+    FaultPlan([
+        {"action": "slow", "after_requests": 3, "ms": 40, "every": 2},
+        {"action": "kill", "after_requests": 10},
+    ])
+
+* ``action`` — what to inject:
+    * ``"kill"``  — die instantly (``os._exit``), simulating a crash /
+      OOM-kill; the supervisor sees pipe EOF exactly as for ``kill -9``;
+    * ``"hang"``  — stop responding without dying (the worker sleeps
+      far past every deadline), simulating a wedged process that only
+      health-check timeouts can detect;
+    * ``"slow"``  — sleep ``ms`` (±``jitter_ms``) before answering,
+      simulating degraded workers for deadline/overload tests.
+* ``after_requests`` — the 1-based request count on which the fault
+  first fires. Counting is per worker process and includes only real
+  requests (supervisor pings/stats are exempt, so health checks measure
+  the fault rather than perturb it).
+* ``every`` — for ``slow``: re-fire each ``every`` requests after the
+  first (default: every request from ``after_requests`` on).
+
+Determinism discipline (same as training resume): any randomness —
+currently only the ``slow`` jitter — comes from a ``random.Random``
+seeded by the plan's ``seed``, so a plan replays identically.
+
+:func:`corrupt_checkpoint` is the file-level fault: it deterministically
+flips bytes in a checkpoint archive so hot-swap validation must reject
+it (the graceful-degradation path the chaos test drives).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+__all__ = ["FaultPlan", "corrupt_checkpoint"]
+
+_ACTIONS = ("kill", "hang", "slow")
+#: "hang" sleeps this long — effectively forever next to any deadline
+_HANG_S = 3600.0
+
+
+class FaultPlan:
+    """A deterministic schedule of faults for one worker process."""
+
+    def __init__(self, specs: list[dict] | None = None, seed: int = 0):
+        self.specs = [dict(s) for s in (specs or [])]
+        self.seed = int(seed)
+        for spec in self.specs:
+            if spec.get("action") not in _ACTIONS:
+                raise ValueError(f"unknown fault action "
+                                 f"{spec.get('action')!r} (one of {_ACTIONS})")
+            if int(spec.get("after_requests", 0)) < 1:
+                raise ValueError("fault needs after_requests >= 1")
+        self._rng = random.Random(self.seed)
+        self._handled = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    # -- wire format ---------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps({"seed": self.seed, "specs": self.specs})
+
+    @classmethod
+    def from_json(cls, payload: str | None) -> "FaultPlan":
+        if not payload:
+            return cls([])
+        decoded = json.loads(payload)
+        return cls(decoded.get("specs", []), seed=decoded.get("seed", 0))
+
+    # -- the injection point -------------------------------------------
+    def on_request(self) -> None:
+        """Called by the worker loop once per real request, *before*
+        handling it. May sleep, may never return."""
+        if not self.specs:
+            return
+        self._handled += 1
+        for spec in self.specs:
+            first = int(spec["after_requests"])
+            if self._handled < first:
+                continue
+            action = spec["action"]
+            if action == "kill":
+                # os._exit, not sys.exit: a crash does not run atexit
+                # hooks or flush buffers, and neither should we
+                os._exit(9)
+            elif action == "hang":
+                time.sleep(_HANG_S)
+            elif action == "slow":
+                every = int(spec.get("every", 1))
+                if (self._handled - first) % every == 0:
+                    delay_ms = float(spec.get("ms", 50.0))
+                    jitter_ms = float(spec.get("jitter_ms", 0.0))
+                    if jitter_ms:
+                        delay_ms += self._rng.uniform(-jitter_ms, jitter_ms)
+                    time.sleep(max(delay_ms, 0.0) / 1000.0)
+
+
+def corrupt_checkpoint(path, seed: int = 0, flips: int = 64) -> None:
+    """Deterministically flip ``flips`` bytes of the archive in place.
+
+    The damage lands in the zip central directory *and* member data
+    (positions are drawn across the whole file), so both
+    ``read_checkpoint_meta`` and a full load fail loudly — never a
+    silently-wrong model. Used by the chaos suite to prove the hot-swap
+    watcher rejects a torn/corrupted checkpoint and keeps serving the
+    old version.
+    """
+    path = os.fspath(path)
+    data = bytearray(open(path, "rb").read())
+    if not data:
+        raise ValueError(f"{path} is empty")
+    rng = random.Random(seed)
+    for _ in range(min(flips, len(data))):
+        position = rng.randrange(len(data))
+        data[position] ^= 0xFF
+    with open(path, "wb") as handle:
+        handle.write(data)

@@ -25,7 +25,27 @@ from .batcher import MicroBatcher
 from .cache import LruCache, canonical_key
 from .checkpoint import load_checkpoint
 
-__all__ = ["PredictionService"]
+__all__ = ["PredictionService", "RequestSourceError"]
+
+
+class RequestSourceError(ValueError):
+    """One source of a request failed featurization (parse error,
+    non-string payload, ...).
+
+    Raised *before* any encoding work happens, so a bad source in the
+    middle of an ``embed_many``/``rank`` list costs nothing and leaves
+    no half-resolved batcher tickets. Carries which source failed
+    (``index``/``label``) and the original exception (``cause``); the
+    message embeds the cause's type name so pre-cluster clients that
+    string-match on e.g. ``"ParseError"`` keep working.
+    """
+
+    def __init__(self, index: int, label: str, cause: Exception):
+        self.index = index
+        self.label = label
+        self.cause = cause
+        super().__init__(
+            f"{label}: {type(cause).__name__}: {cause}")
 
 
 class PredictionService:
@@ -96,16 +116,38 @@ class PredictionService:
     # ------------------------------------------------------------------
     # embeddings (cache + batcher)
     # ------------------------------------------------------------------
-    def _embed_sources(self, sources: list[str]) -> np.ndarray:
+    def _featurize_all(self, sources: list[str],
+                       labels: list[str] | None = None) -> list[TreeFeatures]:
+        """Featurize every source up front, or raise one
+        :class:`RequestSourceError` naming the first bad entry.
+
+        Failing *before* any ticket is submitted keeps the request
+        all-or-nothing: no encode work is spent on a list that cannot
+        be fully answered, and no partial results leak.
+        """
+        features_list = []
+        for i, source in enumerate(sources):
+            label = labels[i] if labels is not None else f"source #{i}"
+            if not isinstance(source, str):
+                raise RequestSourceError(i, label, TypeError(
+                    f"expected a source string, got {type(source).__name__}"))
+            try:
+                with self._featurize_lock:
+                    features_list.append(self.model.featurizer(source))
+            except Exception as error:
+                raise RequestSourceError(i, label, error) from error
+        return features_list
+
+    def _embed_sources(self, sources: list[str],
+                       labels: list[str] | None = None) -> np.ndarray:
         """Embeddings for ``sources`` (T, d): cache hits cost a lookup,
         misses are submitted together so one fused flush covers them."""
+        features_by_row = self._featurize_all(sources, labels)
         out = np.empty((len(sources), self.model.encoder.output_size))
         tickets: dict[str, object] = {}   # canonical key -> ticket
         node_counts: dict[str, int] = {}  # canonical key -> tree size
         miss_rows: list[tuple[int, str]] = []
-        for i, source in enumerate(sources):
-            with self._featurize_lock:
-                features = self.model.featurizer(source)
+        for i, features in enumerate(features_by_row):
             key = canonical_key(features)
             hit = self.cache.get(key)
             if hit is not None:
@@ -135,7 +177,14 @@ class PredictionService:
         return self._embed_sources([source])[0]
 
     def embed_many(self, sources: list[str]) -> np.ndarray:
-        """Bulk embeddings, (T, d); counts as ``len(sources)`` requests."""
+        """Bulk embeddings, (T, d); counts as ``len(sources)`` requests.
+
+        Edge cases are pinned down: an empty list returns an empty
+        ``(0, d)`` array (not a numpy broadcasting accident), and a
+        source that fails to parse raises :class:`RequestSourceError`
+        naming its index *before* any encoding work happens.
+        """
+        sources = list(sources)
         self._count("embed", len(sources))
         if not sources:
             return np.zeros((0, self.model.encoder.output_size))
@@ -195,13 +244,21 @@ class PredictionService:
         Every candidate is scored by its mean probability of being
         slower than each other candidate (round-robin tournament, one
         batched classifier GEMM); with ``baseline`` given, each entry
-        also reports ``p_slower_than_baseline``.
+        also reports ``p_slower_than_baseline``. A single candidate is
+        well-defined (score 0.5 — nothing to beat); an empty list is a
+        ``ValueError``; an unparseable candidate or baseline raises
+        :class:`RequestSourceError` naming which entry failed, before
+        any encoding work.
         """
+        candidates = list(candidates)
         if not candidates:
             raise ValueError("rank needs at least one candidate")
         self._count("rank")
         sources = list(candidates) + ([baseline] if baseline is not None else [])
-        z = self._embed_sources(sources)
+        labels = [f"candidate #{i}" for i in range(len(candidates))]
+        if baseline is not None:
+            labels.append("baseline")
+        z = self._embed_sources(sources, labels=labels)
         n = len(candidates)
         scores = np.full(n, 0.5)
         if n > 1:

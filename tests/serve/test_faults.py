@@ -1,0 +1,132 @@
+"""Determinism units for the chaos machinery (``repro.serve.faults``)
+and the supervisor's backoff schedule.
+
+The chaos suite's credibility rests on these: a fault plan must replay
+identically (same seed, same schedule), and checkpoint corruption must
+be byte-for-byte reproducible so the hot-swap rejection path is a
+deterministic test, not a flaky one.
+"""
+
+import random
+import shutil
+import zipfile
+
+import pytest
+
+from repro.core import build_model
+from repro.serve import (
+    NotACheckpointError, checkpoint_signature, read_checkpoint_meta,
+    save_checkpoint,
+)
+from repro.serve.faults import FaultPlan, corrupt_checkpoint
+from repro.serve.supervisor import backoff_ms
+
+
+class TestFaultPlan:
+    def test_json_roundtrip(self):
+        plan = FaultPlan([{"action": "slow", "after_requests": 3,
+                           "ms": 40, "every": 2},
+                          {"action": "kill", "after_requests": 10}],
+                         seed=7)
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.specs == plan.specs
+        assert clone.seed == 7
+
+    def test_empty_payload_is_a_no_op_plan(self):
+        for payload in (None, ""):
+            plan = FaultPlan.from_json(payload)
+            assert not plan
+            plan.on_request()            # must not blow up
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultPlan([{"action": "explode", "after_requests": 1}])
+
+    def test_after_requests_must_be_positive(self):
+        with pytest.raises(ValueError, match="after_requests"):
+            FaultPlan([{"action": "kill"}])
+        with pytest.raises(ValueError, match="after_requests"):
+            FaultPlan([{"action": "kill", "after_requests": 0}])
+
+    def test_slow_schedule_and_jitter_replay_identically(self, monkeypatch):
+        spec = [{"action": "slow", "after_requests": 3, "every": 2,
+                 "ms": 40, "jitter_ms": 10}]
+
+        def run(seed):
+            sleeps = []
+            monkeypatch.setattr("repro.serve.faults.time.sleep",
+                                sleeps.append)
+            plan = FaultPlan(spec, seed=seed)
+            for _ in range(8):
+                plan.on_request()
+            return sleeps
+
+        first, again = run(5), run(5)
+        # fires on requests 3, 5, 7 (every 2 from after_requests=3)
+        assert len(first) == 3
+        assert first == again                       # seeded jitter replays
+        assert run(6) != first                      # and the seed matters
+        for delay in first:
+            assert 0.030 <= delay <= 0.050          # 40ms +/- 10ms jitter
+
+
+class TestCorruptCheckpoint:
+    @pytest.fixture(scope="class")
+    def checkpoint(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("faults")
+        model = build_model(embedding_dim=8, hidden_size=8, seed=0)
+        return save_checkpoint(model, root / "model.npz")
+
+    def test_corruption_is_deterministic(self, checkpoint, tmp_path):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        shutil.copy(checkpoint, a)
+        shutil.copy(checkpoint, b)
+        corrupt_checkpoint(a, seed=3)
+        corrupt_checkpoint(b, seed=3)
+        assert a.read_bytes() == b.read_bytes()
+        assert a.read_bytes() != checkpoint.read_bytes()
+
+    def test_corrupted_archive_fails_validation_loudly(self, checkpoint,
+                                                       tmp_path):
+        broken = tmp_path / "broken.npz"
+        shutil.copy(checkpoint, broken)
+        corrupt_checkpoint(broken, seed=0)
+        with pytest.raises(Exception) as info:
+            read_checkpoint_meta(broken)
+        assert isinstance(info.value, (NotACheckpointError, OSError,
+                                       ValueError, KeyError,
+                                       zipfile.BadZipFile))
+        with pytest.raises(Exception):
+            checkpoint_signature(broken)
+
+    def test_signature_distinguishes_archives(self, checkpoint, tmp_path):
+        copy = tmp_path / "copy.npz"
+        shutil.copy(checkpoint, copy)
+        original = checkpoint_signature(checkpoint)
+        assert checkpoint_signature(copy)["sha"] == original["sha"]
+        assert original["format_version"] >= 1
+
+    def test_empty_file_rejected(self, tmp_path):
+        empty = tmp_path / "empty.npz"
+        empty.write_bytes(b"")
+        with pytest.raises(ValueError, match="empty"):
+            corrupt_checkpoint(empty)
+
+
+class TestBackoff:
+    def test_deterministic_and_exponential_until_cap(self):
+        def schedule():
+            rng = random.Random(0)       # one rng per supervisor lifetime
+            return [backoff_ms(streak, 100.0, 5000.0, rng)
+                    for streak in range(1, 9)]
+
+        delays, again = schedule(), schedule()
+        assert delays == again                      # seeded: replays
+        for streak, delay in enumerate(delays, start=1):
+            base = min(100.0 * 2.0 ** (streak - 1), 5000.0)
+            assert base <= delay <= base + 100.0    # jitter in [0, base_ms]
+        assert delays[-1] <= 5100.0                 # capped
+
+    def test_streak_zero_treated_as_first_attempt(self):
+        delay = backoff_ms(0, 100.0, 5000.0, random.Random(1))
+        assert 100.0 <= delay <= 200.0

@@ -1,0 +1,150 @@
+"""Protocol hardening tests (satellite 1): the JSONL loop survives
+anything a client can put on the wire.
+
+``serve_lines`` is the one hardened loop behind the CLI stream mode and
+each cluster worker; these tests drive it with a mixed good/bad stream
+and pin the contract: exactly one structured response per non-blank
+line, in input order, with machine-readable ``code`` fields — and the
+stream always continues.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import build_model
+from repro.serve import PredictionService
+from repro.serve.protocol import (
+    ERR_BAD_JSON, ERR_BAD_REQUEST, ERR_INTERNAL,
+    error_reply, handle_request, request_sources, serve_lines,
+)
+
+from .test_service_e2e import variants
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model(embedding_dim=16, hidden_size=16, seed=2)
+
+
+@pytest.fixture()
+def service(model):
+    with PredictionService(model, threaded=False) as svc:
+        yield svc
+
+
+class TestErrorReply:
+    def test_shape_and_id_echo(self):
+        reply = error_reply(ERR_BAD_REQUEST, "nope", request_id=7)
+        assert reply == {"ok": False, "error": "nope",
+                         "code": ERR_BAD_REQUEST, "id": 7}
+
+    def test_id_omitted_when_absent(self):
+        assert "id" not in error_reply(ERR_BAD_JSON, "nope")
+
+
+class TestRequestSources:
+    def test_single_source_fields_in_affinity_order(self):
+        req = {"op": "compare", "second": "b", "first": "a"}
+        assert request_sources(req) == ["a", "b"]
+
+    def test_rank_candidates_and_baseline(self):
+        req = {"op": "rank", "candidates": ["x", "y"], "baseline": "z"}
+        assert request_sources(req) == ["x", "y", "z"]
+
+    def test_non_string_payloads_are_skipped(self):
+        req = {"op": "rank", "source": 5, "candidates": ["x", None, 3]}
+        assert request_sources(req) == ["x"]
+
+    def test_no_sources(self):
+        assert request_sources({"op": "stats"}) == []
+
+
+class TestHandleRequest:
+    def test_never_raises_and_classifies_codes(self, service):
+        source = variants(1)[0]
+        cases = [
+            ({"op": "embed", "source": source}, True, None),
+            ({"op": "embed", "source": "garbage(("}, False, ERR_BAD_REQUEST),
+            ({"op": "embed"}, False, ERR_BAD_REQUEST),       # missing field
+            ({"op": "frobnicate"}, False, ERR_BAD_REQUEST),  # unknown op
+            ({"op": "compare", "old": source, "new": source,
+              "threshold": 2.0}, False, ERR_BAD_REQUEST),
+            ({"op": "rank", "candidates": []}, False, ERR_BAD_REQUEST),
+        ]
+        for request, ok, code in cases:
+            response = handle_request(service, request)
+            assert response["ok"] is ok, request
+            if not ok:
+                assert response["code"] == code
+
+    def test_non_dict_request(self, service):
+        response = handle_request(service, [1, 2])
+        assert response["ok"] is False and response["code"] == ERR_BAD_JSON
+
+    def test_internal_error_code_for_service_blowup(self, service, model):
+        original = service.embed
+        service.embed = lambda source: (_ for _ in ()).throw(
+            RuntimeError("disk on fire"))
+        try:
+            response = handle_request(
+                service, {"op": "embed", "source": "x", "id": 3})
+        finally:
+            service.embed = original
+        assert response == {"ok": False, "code": ERR_INTERNAL, "id": 3,
+                            "error": "RuntimeError: disk on fire"}
+
+    def test_embed_many_op(self, service, model):
+        sources = variants(3)
+        response = handle_request(
+            service, {"op": "embed_many", "sources": sources})
+        assert response["ok"] is True
+        got = np.asarray(response["embeddings"])
+        for row, source in zip(got, sources):
+            np.testing.assert_allclose(row, model.embed(source), atol=1e-8)
+
+
+class TestServeLinesMixedStream:
+    def test_one_reply_per_line_in_order_and_stream_survives(
+            self, service, model):
+        """The satellite-1 acceptance test: a mixed good/bad stream gets
+        exactly one reply per non-blank line and never kills the loop."""
+        good = variants(2)
+        lines = [
+            json.dumps({"id": 0, "op": "embed", "source": good[0]}),
+            "{definitely not json",                       # bad JSON
+            "",                                           # blank: skipped
+            json.dumps({"id": 1, "op": "embed", "source": "int main("}),
+            json.dumps([1, 2, 3]),                        # not an object
+            json.dumps({"id": 2, "op": "compare",
+                        "first": good[0], "second": good[1]}),
+            "   ",                                        # blank: skipped
+            json.dumps({"id": 3, "op": "nope"}),
+            json.dumps({"id": 4, "op": "embed", "source": good[1]}),
+        ]
+        replies = list(serve_lines(service, lines))
+        assert len(replies) == 7                          # 9 lines - 2 blank
+        assert [r["ok"] for r in replies] == [
+            True, False, False, False, True, False, True]
+        # order is input order: ids echo through, including on errors
+        assert [r.get("id") for r in replies] == [0, None, 1, None, 2, 3, 4]
+        assert replies[1]["code"] == ERR_BAD_JSON
+        assert "bad JSON" in replies[1]["error"]
+        assert replies[2]["code"] == ERR_BAD_REQUEST
+        assert "ParseError" in replies[2]["error"]        # pre-cluster compat
+        assert replies[3]["code"] == ERR_BAD_JSON
+        assert replies[5]["code"] == ERR_BAD_REQUEST
+        np.testing.assert_allclose(replies[0]["embedding"],
+                                   model.embed(good[0]), atol=1e-8)
+        assert replies[4]["p_first_slower"] == pytest.approx(
+            model.predict_probability(good[0], good[1]), abs=1e-8)
+
+    def test_every_error_is_json_serializable(self, service):
+        lines = ["}{", json.dumps({"op": "embed", "source": None}),
+                 json.dumps({"op": "rank", "candidates": "not a list"})]
+        for reply in serve_lines(service, lines):
+            decoded = json.loads(json.dumps(reply))
+            assert decoded["ok"] is False
+            assert isinstance(decoded["code"], str)
+            assert isinstance(decoded["error"], str)

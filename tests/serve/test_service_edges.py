@@ -1,0 +1,101 @@
+"""Edge-case contracts of ``PredictionService`` (satellite 2).
+
+``embed_many`` and ``rank`` are the two list-shaped entry points; their
+behavior on empty lists, single elements, and unparseable entries is
+pinned here so a cluster worker answering them can never trip over a
+numpy broadcasting accident or spend encode work on a doomed request.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import build_model
+from repro.serve import PredictionService, RequestSourceError
+
+from .test_service_e2e import variants
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model(embedding_dim=16, hidden_size=16, seed=2)
+
+
+@pytest.fixture()
+def service(model):
+    with PredictionService(model, threaded=False) as svc:
+        yield svc
+
+
+class TestEmbedMany:
+    def test_empty_list_returns_0_by_d(self, service, model):
+        out = service.embed_many([])
+        assert out.shape == (0, model.encoder.output_size)
+        assert service.stats()["encoder"]["trees_encoded"] == 0
+
+    def test_generator_input_is_accepted(self, service, model):
+        sources = variants(2)
+        out = service.embed_many(s for s in sources)
+        assert out.shape == (2, model.encoder.output_size)
+        for row, source in zip(out, sources):
+            np.testing.assert_allclose(row, model.embed(source), atol=1e-8)
+
+    def test_unparseable_source_raises_naming_its_index(self, service):
+        good = variants(2)
+        with pytest.raises(RequestSourceError) as info:
+            service.embed_many([good[0], "int main( {", good[1]])
+        assert info.value.index == 1
+        assert "source #1" in str(info.value)
+        assert "ParseError" in str(info.value)   # clients string-match this
+
+    def test_non_string_entry_raises_before_any_encode(self, service):
+        good = variants(1)[0]
+        with pytest.raises(RequestSourceError) as info:
+            service.embed_many([None, good])
+        assert info.value.index == 0
+        assert isinstance(info.value.cause, TypeError)
+        # all-or-nothing: the good source was not encoded either
+        assert service.stats()["encoder"]["trees_encoded"] == 0
+
+    def test_failed_request_leaves_service_healthy(self, service, model):
+        source = variants(1)[0]
+        with pytest.raises(RequestSourceError):
+            service.embed_many([source, "garbage(("])
+        np.testing.assert_allclose(service.embed(source),
+                                   model.embed(source), atol=1e-8)
+
+
+class TestRankEdges:
+    def test_empty_candidates_is_a_value_error(self, service):
+        with pytest.raises(ValueError, match="at least one candidate"):
+            service.rank([])
+
+    def test_single_candidate_scores_half(self, service):
+        ranking = service.rank([variants(1)[0]])
+        assert ranking == [{"candidate": 0, "score": 0.5}]
+
+    def test_single_candidate_with_baseline(self, service, model):
+        a, b = variants(2)
+        ranking = service.rank([a], baseline=b)
+        assert ranking[0]["candidate"] == 0
+        assert ranking[0]["score"] == 0.5
+        assert ranking[0]["p_slower_than_baseline"] == pytest.approx(
+            model.predict_probability(a, b), abs=1e-8)
+
+    def test_unparseable_candidate_names_its_entry(self, service):
+        good = variants(2)
+        with pytest.raises(RequestSourceError) as info:
+            service.rank([good[0], "while (", good[1]])
+        assert info.value.index == 1
+        assert "candidate #1" in str(info.value)
+
+    def test_unparseable_baseline_names_the_baseline(self, service):
+        good = variants(2)
+        with pytest.raises(RequestSourceError) as info:
+            service.rank(good, baseline="int main( {")
+        assert info.value.label == "baseline"
+        assert "baseline" in str(info.value)
+        assert service.stats()["encoder"]["trees_encoded"] == 0
+
+    def test_tuple_input_is_accepted(self, service):
+        ranking = service.rank(tuple(variants(3)))
+        assert sorted(e["candidate"] for e in ranking) == [0, 1, 2]
