@@ -58,7 +58,8 @@ def test_bench_training_step(benchmark, table1_db):
         trainer.optimizer.step()
         return loss
 
-    loss = benchmark.pedantic(step, rounds=3, iterations=1)
+    loss = benchmark.pedantic(step, rounds=5, iterations=1,
+                              warmup_rounds=1)
     assert np.isfinite(loss.item())
 
 
@@ -96,7 +97,8 @@ def test_bench_full_epoch(benchmark, table1_db):
     def epoch():
         return trainer.fit(pairs)
 
-    history = benchmark.pedantic(epoch, rounds=3, iterations=1)
+    history = benchmark.pedantic(epoch, rounds=3, iterations=1,
+                                 warmup_rounds=1)
     assert len(history.losses) == 1
     assert np.isfinite(history.losses[0])
 
@@ -139,5 +141,6 @@ def test_bench_judge_execution(benchmark):
     test = JudgeTest(f"{n}\n" + " ".join(map(str, values)), expected)
 
     report = benchmark.pedantic(
-        lambda: judge.judge_source(SOURCE, [test]), rounds=3, iterations=1)
+        lambda: judge.judge_source(SOURCE, [test]), rounds=3, iterations=1,
+        warmup_rounds=1)
     assert report.verdict.value == "OK"

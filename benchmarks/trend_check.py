@@ -1,0 +1,142 @@
+"""Cross-PR perf-trend gate over the repo's ``BENCH_PR*.json`` series.
+
+The repository carries one microbenchmark artifact per PR (written by
+``benchmarks/run_microbench.py``). This script reads the **whole
+series**, builds a per-benchmark history of mean times, and warns when
+the newest point drifts out of the history's noise band — the
+repo-level analogue of the per-change ``PerformanceGate`` that
+``examples/regression_gate.py`` demonstrates on source code.
+
+The band is robust rather than parametric: for each benchmark with
+enough history, the reference is the median of all *earlier* points
+and the half-width is ``max(band_mads * 1.4826 * MAD, band_floor *
+median)`` — a scaled median-absolute-deviation with a relative floor
+so a perfectly flat history doesn't flag 1% jitter. Regressions
+(latest above the band) are warnings; improvements below the band are
+reported as informational only.
+
+Artifacts that are not pytest-benchmark payloads (e.g. the cluster
+load-test JSON) are skipped. Exit code is 0 unless ``--strict`` is
+given and at least one regression was flagged::
+
+    python benchmarks/trend_check.py             # report only
+    python benchmarks/trend_check.py --strict    # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import statistics
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+_ARTIFACT = re.compile(r"BENCH_PR(\d+)\.json$")
+
+__all__ = ["load_series", "check_drift", "main"]
+
+
+def load_series(root: Path) -> dict[str, list[tuple[int, float]]]:
+    """``benchmark name -> [(pr, mean_seconds), ...]`` sorted by PR.
+
+    Reads every ``BENCH_PR<n>.json`` under ``root``; files without a
+    pytest-benchmark ``benchmarks`` list are ignored.
+    """
+    series: dict[str, list[tuple[int, float]]] = {}
+    for path in sorted(Path(root).glob("BENCH_PR*.json")):
+        match = _ARTIFACT.search(path.name)
+        if not match:
+            continue
+        pr = int(match.group(1))
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        benches = payload.get("benchmarks")
+        if not isinstance(benches, list):
+            continue                       # e.g. the cluster-load artifact
+        for bench in benches:
+            try:
+                name = bench["name"]
+                mean = float(bench["stats"]["mean"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            series.setdefault(name, []).append((pr, mean))
+    for points in series.values():
+        points.sort()
+    return series
+
+
+def check_drift(series: dict[str, list[tuple[int, float]]],
+                min_history: int = 3, band_mads: float = 4.0,
+                band_floor: float = 0.25) -> list[dict]:
+    """Findings for every benchmark whose newest point leaves the band.
+
+    ``min_history`` earlier points are required before judging (fewer
+    and the artifact is still establishing its baseline). Each finding
+    carries ``kind`` (``"regression"`` or ``"improvement"``), the
+    offending PR/mean, and the band it left.
+    """
+    findings = []
+    for name, points in sorted(series.items()):
+        if len(points) < min_history + 1:
+            continue
+        history = [mean for _, mean in points[:-1]]
+        latest_pr, latest = points[-1]
+        median = statistics.median(history)
+        mad = statistics.median(abs(m - median) for m in history)
+        band = max(band_mads * 1.4826 * mad, band_floor * median)
+        if latest > median + band:
+            kind = "regression"
+        elif latest < median - band:
+            kind = "improvement"
+        else:
+            continue
+        findings.append({
+            "name": name, "kind": kind, "pr": latest_pr,
+            "latest_s": latest, "median_s": median, "band_s": band,
+            "ratio": latest / median if median else float("inf"),
+        })
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path, default=REPO_ROOT,
+                        help="directory holding the BENCH_PR*.json series")
+    parser.add_argument("--min-history", type=int, default=3,
+                        help="earlier points required before judging")
+    parser.add_argument("--band-mads", type=float, default=4.0)
+    parser.add_argument("--band-floor", type=float, default=0.25,
+                        help="relative floor on the band half-width")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when a regression is flagged")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as JSON instead of text")
+    args = parser.parse_args(argv)
+
+    series = load_series(args.root)
+    findings = check_drift(series, min_history=args.min_history,
+                           band_mads=args.band_mads,
+                           band_floor=args.band_floor)
+    regressions = [f for f in findings if f["kind"] == "regression"]
+    if args.json:
+        print(json.dumps({"benchmarks_tracked": len(series),
+                          "findings": findings}, indent=2))
+    else:
+        print(f"{len(series)} benchmark series tracked")
+        if not findings:
+            print("all benchmarks inside their noise bands")
+        for f in findings:
+            arrow = "slower" if f["kind"] == "regression" else "faster"
+            print(f"[{f['kind'].upper()}] {f['name']} @ PR{f['pr']}: "
+                  f"{f['latest_s'] * 1e3:.2f}ms vs median "
+                  f"{f['median_s'] * 1e3:.2f}ms "
+                  f"(x{f['ratio']:.2f}, {arrow}; band "
+                  f"±{f['band_s'] * 1e3:.2f}ms)")
+    return 1 if (args.strict and regressions) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

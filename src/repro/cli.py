@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -84,7 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="Table-I statistics of a corpus")
     stats.add_argument("--db", required=True)
 
+    backend_help = ("kernel backend: numpy64 (default), numpy32 "
+                    "(float32 end-to-end), numba (JIT kernels, if "
+                    "installed); overrides REPRO_BACKEND")
+
     train = sub.add_parser("train", help="train a comparative model")
+    train.add_argument("--backend", default=None, help=backend_help)
     train.add_argument("--db", required=True)
     train.add_argument("--tag", default=None,
                        help="problem tag (required unless --resume, which "
@@ -104,10 +110,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="(default: 16)")
     train.add_argument("--seed", type=int, default=None,
                        help="(default: 0)")
+    train.add_argument("--accum-steps", type=int, default=None,
+                       help="gradient accumulation: split each batch "
+                            "into N sub-forests backwarded before one "
+                            "optimizer step (default 1 = fused batch)")
     train.add_argument("--resume", default=None, metavar="CKPT",
                        help="continue a killed run from its training "
                             "checkpoint (bitwise-identical to an "
                             "uninterrupted run)")
+    train.add_argument("--cast", action="store_true",
+                       help="with --resume: permit resuming a "
+                            "checkpoint whose recorded dtype differs "
+                            "from the active backend's (the "
+                            "continuation is no longer bitwise)")
     train.add_argument("--checkpoint-every", type=int, default=0,
                        metavar="N",
                        help="write a resumable training checkpoint to "
@@ -120,11 +135,19 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--old", required=True)
     predict.add_argument("--new", required=True)
     predict.add_argument("--threshold", type=float, default=0.5)
+    predict.add_argument("--backend", default=None, help=backend_help)
+    predict.add_argument("--cast", action="store_true",
+                         help="permit loading a checkpoint whose recorded "
+                              "dtype differs from the active backend's")
 
     serve = sub.add_parser(
         "serve", help="online prediction service (JSONL request/response)")
     serve.add_argument("--model", required=True,
                        help="versioned checkpoint from `repro train`")
+    serve.add_argument("--backend", default=None, help=backend_help)
+    serve.add_argument("--cast", action="store_true",
+                       help="permit serving a checkpoint whose recorded "
+                            "dtype differs from the active backend's")
     serve.add_argument("--requests", default=None,
                        help="bulk mode: JSONL request file (default: stdin "
                             "stream)")
@@ -199,9 +222,28 @@ def _first(*values):
     return None
 
 
+def _apply_backend(args) -> None:
+    """Activate ``--backend`` for this process *and* its children.
+
+    The env var is set as well so spawned cluster workers (which
+    inherit the environment) run the same backend as the front door.
+    """
+    name = getattr(args, "backend", None)
+    if not name:
+        return
+    from .nn import backend as nn_backend
+
+    try:
+        nn_backend.set_backend(name)
+    except (ValueError, nn_backend.BackendUnavailableError) as error:
+        raise SystemExit(f"--backend: {error}")
+    os.environ["REPRO_BACKEND"] = name
+
+
 def _cmd_train(args) -> int:
     from .engine import Checkpointing
 
+    _apply_backend(args)
     db = SubmissionDatabase.load(args.db)
     if args.resume:
         # Everything a faithful continuation needs travels inside the
@@ -246,6 +288,8 @@ def _cmd_train(args) -> int:
         train_cfg = TrainConfig(**meta["training"]["config"])
         if args.epochs is not None and args.epochs > train_cfg.epochs:
             train_cfg.epochs = args.epochs
+        if args.accum_steps is not None:
+            train_cfg.accum_steps = args.accum_steps
         config = ExperimentConfig(
             encoder_kind=model_cfg["encoder_kind"],
             embedding_dim=model_cfg["embedding_dim"],
@@ -272,7 +316,8 @@ def _cmd_train(args) -> int:
             embedding_dim=_first(args.embedding_dim, 16),
             hidden_size=_first(args.hidden, 16), train_pairs=pairs,
             eval_pairs=max(20, pairs // 2), seed=seed,
-            train=TrainConfig(epochs=epochs, seed=seed))
+            train=TrainConfig(epochs=epochs, seed=seed,
+                              accum_steps=_first(args.accum_steps, 1)))
         resume_from = None
 
     extra = {
@@ -292,7 +337,8 @@ def _cmd_train(args) -> int:
                                        extra=extra, final_write=False))
     subs = db.submissions(tag)
     result = run_experiment(subs, config, callbacks=callbacks,
-                            resume_from=resume_from)
+                            resume_from=resume_from,
+                            resume_cast=args.cast)
 
     engine = result.trainer.engine
     written = engine.save_checkpoint(
@@ -310,12 +356,12 @@ def _cmd_train(args) -> int:
     return 0
 
 
-def _load_model(path):
+def _load_model(path, cast=False):
     """Versioned checkpoint, or the legacy npz + sidecar-JSON layout."""
     from .serve.checkpoint import NotACheckpointError, load_checkpoint
 
     try:
-        return load_checkpoint(path)
+        return load_checkpoint(path, cast=cast)
     except NotACheckpointError:
         meta = json.loads(Path(path).with_suffix(".json").read_text())
         model = build_model(encoder_kind=meta["encoder"],
@@ -326,7 +372,8 @@ def _load_model(path):
 
 
 def _cmd_predict(args) -> int:
-    gate = PerformanceGate(_load_model(args.model),
+    _apply_backend(args)
+    gate = PerformanceGate(_load_model(args.model, cast=args.cast),
                            flag_threshold=args.threshold)
     old_source = Path(args.old).read_text()
     new_source = Path(args.new).read_text()
@@ -348,7 +395,7 @@ def _cmd_serve_cluster(args) -> int:
         high_water=args.high_water, watch=args.watch, seed=args.seed,
         stats_interval_ms=args.stats_every * 1000.0,
         max_batch=args.max_batch, cache_size=args.cache_size,
-        cache_max_nodes=args.cache_max_nodes)
+        cache_max_nodes=args.cache_max_nodes, cast=args.cast)
     server = ClusterServer(
         args.model, workers=args.workers, host=host or "127.0.0.1",
         port=int(port), config=config,
@@ -371,6 +418,7 @@ def _cmd_serve(args) -> int:
     from .serve.protocol import error_reply, handle_request, \
         request_sources, serve_lines, ERR_BAD_JSON
 
+    _apply_backend(args)
     if args.workers:
         return _cmd_serve_cluster(args)
 
@@ -378,7 +426,8 @@ def _cmd_serve(args) -> int:
     # inline (the latency trigger only matters for concurrent clients
     # embedding PredictionService directly).
     service = PredictionService.from_checkpoint(
-        args.model, max_batch=args.max_batch, cache_size=args.cache_size,
+        args.model, cast=args.cast, max_batch=args.max_batch,
+        cache_size=args.cache_size,
         cache_max_nodes=args.cache_max_nodes, threaded=False)
     with service:
         if args.requests is not None:

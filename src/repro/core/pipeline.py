@@ -57,7 +57,7 @@ def run_experiment(submissions: list[Submission],
                    config: ExperimentConfig | None = None,
                    model: ComparativeModel | None = None,
                    callbacks=(),
-                   resume_from=None) -> ExperimentResult:
+                   resume_from=None, resume_cast: bool = False) -> ExperimentResult:
     """Split -> pair -> train (via :mod:`repro.engine`) -> evaluate.
 
     ``callbacks`` are extra engine callbacks (checkpointing, pruning,
@@ -83,7 +83,7 @@ def run_experiment(submissions: list[Submission],
         encoder_kind=config.encoder_kind, embedding_dim=config.embedding_dim,
         hidden_size=config.hidden_size, num_layers=config.num_layers,
         direction=config.direction, seed=config.seed,
-        resume_from=resume_from)
+        resume_from=resume_from, resume_cast=resume_cast)
     trainer = run.trainer
     evaluation = evaluate_on_pairs(trainer, test_pairs) if test_pairs else None
     return ExperimentResult(trainer=trainer, evaluation=evaluation,

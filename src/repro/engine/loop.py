@@ -26,6 +26,7 @@ from dataclasses import asdict, dataclass, field
 import numpy as np
 
 from ..data.batching import iter_index_batches
+from ..nn import backend as nn_backend
 from ..nn.loss import bce_with_logits
 from ..nn.optim import Adam, Optimizer, clip_grad_norm
 from ..nn.tensor import Tensor, no_grad
@@ -43,6 +44,13 @@ class TrainConfig:
     early_stop_patience: int = 0   # 0 disables early stopping
     verbose: bool = False
     eval_batch_size: int = 64      # forest size for bulk inference
+    # Gradient accumulation: each batch's loss is computed over
+    # accum_steps near-equal sub-forests whose (loss-weighted) gradients
+    # sum before the single optimizer step — the optimizer sees the same
+    # objective as one fused batch, but peak graph memory shrinks by
+    # ~accum_steps for forests too large to encode fused. 1 = fused
+    # (bitwise-identical to the historical loop).
+    accum_steps: int = 1
 
 
 @dataclass
@@ -164,6 +172,51 @@ class Engine:
         targets = np.array([label for _, _, label in batch], dtype=float)
         return bce_with_logits(logits, targets)
 
+    def _release_param_grads(self) -> None:
+        """Return parameter gradients to the backend pool and clear them.
+
+        Equivalent to ``optimizer.zero_grad()`` (grads become ``None``)
+        except the arrays are recycled: the next backward's
+        ``_accumulate`` calls draw zeroed buffers from the pool instead
+        of allocating, so steady-state training allocates no gradient
+        memory at all.
+        """
+        pool = nn_backend.active()
+        for p in self.optimizer.parameters:
+            if p.grad is not None:
+                pool.release(p.grad)
+                p.grad = None
+
+    def _accumulate_gradients(self, batch) -> float:
+        """Backward the batch objective into parameter grads; return the
+        batch loss.
+
+        With ``accum_steps == 1`` this is one fused forest encode +
+        backward — bitwise-identical to the historical loop. With more,
+        the batch splits into near-equal sub-forests whose losses are
+        weighted by sub-batch fraction (so the summed gradient equals
+        the fused batch's mean-loss gradient up to float addition
+        order) and backwarded one at a time: peak graph memory drops by
+        ~accum_steps. Intermediate gradient buffers are released to the
+        pool as each backward sweep consumes them.
+        """
+        accum = max(1, int(getattr(self.config, "accum_steps", 1)))
+        if accum <= 1 or len(batch) < 2:
+            loss = self._batch_loss(batch)
+            loss.backward(free_buffers=True)
+            return loss.item()
+        total = 0.0
+        n = len(batch)
+        bounds = np.linspace(0, n, min(accum, n) + 1).astype(int)
+        for start, stop in zip(bounds[:-1], bounds[1:]):
+            chunk = batch[int(start):int(stop)]
+            if not chunk:
+                continue
+            loss = self._batch_loss(chunk) * (len(chunk) / n)
+            loss.backward(free_buffers=True)
+            total += loss.item()
+        return total
+
     # ------------------------------------------------------------------
     # the loop
     # ------------------------------------------------------------------
@@ -202,14 +255,17 @@ class Engine:
             for idx in iter_index_batches(len(prepared), cfg.batch_size,
                                           rng=self.rng, shuffle=True):
                 batch = [prepared[int(k)] for k in idx]
-                self.optimizer.zero_grad()
-                loss = self._batch_loss(batch)
-                loss.backward()
+                # Pool-aware zero_grad: last step's gradient arrays go
+                # back to the backend's buffer pool (deferred to the
+                # start of the *next* batch so on_batch_end callbacks can
+                # still inspect them after the step).
+                self._release_param_grads()
+                batch_loss = self._accumulate_gradients(batch)
                 norm = clip_grad_norm(self.model.parameters(), cfg.grad_clip)
                 self.optimizer.step()
                 state.step += 1
                 state.batch_index = batches
-                state.last_loss = loss.item()
+                state.last_loss = batch_loss
                 state.last_grad_norm = norm
                 epoch_loss += state.last_loss
                 batches += 1
@@ -306,7 +362,8 @@ class Engine:
 
     @classmethod
     def from_checkpoint(cls, path, config: TrainConfig | None = None,
-                        callbacks=None, extra_callbacks=()) -> "Engine":
+                        callbacks=None, extra_callbacks=(),
+                        cast: bool = False) -> "Engine":
         """Rebuild a mid-run engine from a training checkpoint.
 
         ``config`` overrides the stored :class:`TrainConfig` (e.g. to
@@ -317,10 +374,16 @@ class Engine:
         gets its checkpointed state back (early-stopping patience
         counters survive the restart). The first ``fit`` after this
         continues from the checkpointed epoch.
+
+        ``cast=True`` permits resuming a checkpoint whose recorded dtype
+        differs from the active backend's (weights and optimizer moments
+        are converted); without it such a resume raises
+        :class:`repro.serve.checkpoint.CheckpointDtypeError`, because a
+        cross-dtype continuation cannot be bitwise-faithful.
         """
         from ..serve.checkpoint import load_training_checkpoint
 
-        model, optimizer, training = load_training_checkpoint(path)
+        model, optimizer, training = load_training_checkpoint(path, cast=cast)
         stored = TrainConfig(**training["config"])
         if config is not None:
             # The override wins for every TrainConfig knob, including the

@@ -38,7 +38,7 @@ def train_pairs_model(pairs, *, train: TrainConfig | None = None,
                       hidden_size: int = 32, num_layers: int = 1,
                       direction: str = "alternating",
                       classifier_hidden: int = 0, seed: int = 0,
-                      resume_from=None) -> TrainRun:
+                      resume_from=None, resume_cast: bool = False) -> TrainRun:
     """Build (or resume) a model and fit it on ``pairs`` via the engine.
 
     ``callbacks`` are appended after the standard set (grad-norm
@@ -50,13 +50,15 @@ def train_pairs_model(pairs, *, train: TrainConfig | None = None,
     ``pairs`` must be the same training pairs the checkpointed run used
     (derive them with the same seeds) for the continuation to be
     bitwise-faithful. ``train`` then overrides the stored config (e.g.
-    a larger ``epochs`` budget).
+    a larger ``epochs`` budget). ``resume_cast=True`` permits resuming
+    across a dtype change (see ``Engine.from_checkpoint``).
     """
     if resume_from is not None:
         # callbacks ride along into from_checkpoint so stateful ones are
         # installed before the restore and recover their saved state
         engine = Engine.from_checkpoint(resume_from, config=train,
-                                        extra_callbacks=callbacks)
+                                        extra_callbacks=callbacks,
+                                        cast=resume_cast)
     else:
         # Imported lazily: repro.core imports the engine package (the
         # Trainer facade), so a module-level import here would cycle.

@@ -13,7 +13,7 @@ package implements the required subset with reverse-mode autodiff:
 * :mod:`repro.nn.loss` / :mod:`repro.nn.optim` — objectives & optimizers
 """
 
-from . import functional
+from . import backend, functional
 from .gcn import GCN, GraphConv, normalized_adjacency
 from .layers import Dropout, Embedding, Linear, ReLU, Sequential, Sigmoid, Tanh
 from .loss import bce_with_logits, binary_cross_entropy, cross_entropy, mse_loss
@@ -26,7 +26,7 @@ from .treelstm import (DIRECTIONS, ChildSumTreeLSTM, ForestSchedule,
                        TreeLSTMStack, TreeSchedule, schedule_for)
 
 __all__ = [
-    "Tensor", "no_grad", "Module", "Parameter", "functional",
+    "Tensor", "no_grad", "Module", "Parameter", "functional", "backend",
     "Linear", "Embedding", "Dropout", "Sequential", "Tanh", "ReLU", "Sigmoid",
     "LSTM", "LSTMCell",
     "ChildSumTreeLSTM", "TreeLSTMStack", "TreeSchedule", "ForestSchedule",

@@ -1,0 +1,53 @@
+"""Numba JIT kernels for the numba backend (lazily compiled).
+
+Imported only by :class:`repro.nn.backend.NumbaBackend` after a
+successful ``import numba`` probe — this module must never be imported
+when numba is absent. Each kernel accumulates rows in ascending edge
+order, matching the ``np.add.reduceat`` sweep of the NumPy backends,
+so the 1e-8 float64 equivalence suite applies to the numba backend
+unchanged.
+"""
+
+from __future__ import annotations
+
+
+def compile_kernels() -> dict:
+    import numba
+
+    @numba.njit(cache=True, fastmath=False)
+    def segment_sum(data, segment_ids, out):
+        for e in range(data.shape[0]):
+            s = segment_ids[e]
+            for j in range(data.shape[1]):
+                out[s, j] += data[e, j]
+
+    @numba.njit(cache=True, fastmath=False)
+    def segment_sum_pair(a, b, segment_ids, out):
+        w = a.shape[1]
+        for e in range(a.shape[0]):
+            s = segment_ids[e]
+            for j in range(w):
+                out[s, j] += a[e, j]
+            for j in range(w):
+                out[s, w + j] += b[e, j]
+
+    @numba.njit(cache=True, fastmath=False)
+    def take_rows(data, rows, out):
+        for e in range(rows.shape[0]):
+            r = rows[e]
+            for j in range(data.shape[1]):
+                out[e, j] = data[r, j]
+
+    @numba.njit(cache=True, fastmath=False)
+    def scatter_add_rows(out, rows, values):
+        for e in range(rows.shape[0]):
+            r = rows[e]
+            for j in range(values.shape[1]):
+                out[r, j] += values[e, j]
+
+    return {
+        "segment_sum": segment_sum,
+        "segment_sum_pair": segment_sum_pair,
+        "take_rows": take_rows,
+        "scatter_add_rows": scatter_add_rows,
+    }

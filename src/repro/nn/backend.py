@@ -1,0 +1,454 @@
+"""Pluggable ops backend: dtype policy + the autograd core's hot kernels.
+
+Every numerical hot spot of the reproduction funnels through a handful
+of named kernels — the per-level segment sums of the tree-LSTM, the
+multi-source ``gather_rows`` / scatter-add pair that moves states
+between levels, the gate GEMMs, and gradient-buffer allocation. This
+module gives those kernels a dispatch seam so a faster implementation
+(or a different float width) can be selected **without forking any
+model code**:
+
+* ``numpy64`` — the default. Bitwise-compatible with the historical
+  inlined NumPy code: float64 end-to-end, same reduction order, same
+  allocation behaviour. The 1e-8 batched-vs-per-tree equivalence suite
+  is its correctness bar.
+* ``numpy32`` — float32 end-to-end. The dtype policy threads through
+  :class:`~repro.nn.tensor.Tensor` creation, weight init, optimizer
+  moments, and checkpoints (which record their dtype). Equivalence to
+  the float64 reference holds at the documented ``tolerance`` (see
+  ``docs/backends.md``).
+* ``numba`` — optional JIT kernels for segment-sum / gather / scatter
+  (float64, same summation order as ``numpy64`` so the 1e-8 suite
+  applies unchanged). Lazily imported; if numba is not installed the
+  backend is simply unavailable — selecting it raises
+  :class:`BackendUnavailableError`, and an ``REPRO_BACKEND=numba``
+  environment default silently falls back to ``numpy64``.
+
+Selection: the ``REPRO_BACKEND`` environment variable at import, the
+``--backend`` flag of ``repro train`` / ``repro serve``, or
+programmatically::
+
+    from repro.nn import backend
+    backend.set_backend("numpy32")          # process-wide
+    with backend.use("numpy64"):            # scoped (tests)
+        ...
+
+Backends also own a bounded **gradient-buffer pool**: the training
+engine returns parameter-gradient and freed intermediate-gradient
+arrays after each optimizer step, and ``Tensor._accumulate`` draws its
+zeroed accumulators from the pool instead of a fresh ``np.zeros`` per
+tensor per step (shapes repeat exactly across steps, so the hit rate
+is ~100% after the first batch).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+import warnings
+
+import numpy as np
+
+__all__ = [
+    "KernelBackend", "BufferPool", "BackendUnavailableError",
+    "register", "get", "active", "set_backend", "use",
+    "available_backends", "default_dtype", "describe",
+]
+
+
+class BackendUnavailableError(RuntimeError):
+    """The requested backend exists but cannot run here (missing dep)."""
+
+
+class BufferPool:
+    """Bounded free-list of reusable gradient arrays, keyed by
+    ``(shape, dtype)``.
+
+    ``take`` returns a **zeroed** array (pool hit or fresh allocation);
+    ``give`` returns one for reuse. The pool is an allocation cache,
+    not a correctness feature: dropping every buffer on the floor is
+    always safe, so ``give`` silently discards when a key's free-list
+    or the total byte budget is full.
+    """
+
+    def __init__(self, max_per_key: int = 16,
+                 max_bytes: int = 128 * 1024 * 1024):
+        self.max_per_key = max_per_key
+        self.max_bytes = max_bytes
+        self._free: dict[tuple, list[np.ndarray]] = {}
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.recycled = 0
+
+    @staticmethod
+    def _key(shape: tuple, dtype) -> tuple:
+        return (shape, np.dtype(dtype).str)
+
+    def take(self, shape: tuple, dtype) -> np.ndarray:
+        with self._lock:
+            stack = self._free.get(self._key(shape, dtype))
+            if stack:
+                buf = stack.pop()
+                self._bytes -= buf.nbytes
+                self.hits += 1
+                buf.fill(0.0)
+                return buf
+            self.misses += 1
+        return np.zeros(shape, dtype=dtype)
+
+    def give(self, array: np.ndarray) -> None:
+        if not isinstance(array, np.ndarray) or array.base is not None:
+            return                       # never pool a view
+        with self._lock:
+            if self._bytes + array.nbytes > self.max_bytes:
+                return
+            stack = self._free.setdefault(self._key(array.shape,
+                                                    array.dtype), [])
+            if len(stack) >= self.max_per_key:
+                return
+            stack.append(array)
+            self._bytes += array.nbytes
+            self.recycled += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._free.clear()
+            self._bytes = 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "recycled": self.recycled, "held_bytes": self._bytes,
+                    "held_buffers": sum(len(s) for s in
+                                        self._free.values())}
+
+
+class KernelBackend:
+    """Base backend: pure-NumPy kernels, parameterized by ``dtype``.
+
+    The kernel implementations here are *exactly* the historical
+    inlined code (same reduction order, same intermediate layout), so
+    ``numpy64`` is a pure refactor. Subclasses override individual
+    kernels (``numba``) or just the dtype policy (``numpy32``).
+
+    Attributes
+    ----------
+    dtype:
+        The float width every :class:`~repro.nn.tensor.Tensor` carrying
+        real-valued data is coerced to. Integer/bool arrays (index maps,
+        masks) are never touched by the policy.
+    tolerance:
+        The documented absolute tolerance at which this backend's
+        results agree with the float64 reference implementation. The
+        equivalence test-suite is parametrized on it.
+    """
+
+    name = "numpy64"
+    dtype = np.float64
+    tolerance = 1e-8
+
+    def __init__(self):
+        self.pool = BufferPool()
+
+    # ------------------------------------------------------------------
+    # dtype policy
+    # ------------------------------------------------------------------
+    def asarray(self, data) -> np.ndarray:
+        """Coerce ``data`` for Tensor storage under this backend's policy.
+
+        Float arrays are cast to :attr:`dtype`; integer and bool arrays
+        pass through **unchanged and uncopied** — they are index maps
+        and masks whose integrality the gather/scatter kernels rely on.
+        Non-array inputs (lists, scalars) become :attr:`dtype` arrays.
+        """
+        if isinstance(data, np.ndarray):
+            if data.dtype == self.dtype or data.dtype.kind in "iub":
+                return data
+            return data.astype(self.dtype)
+        return np.asarray(data, dtype=self.dtype)
+
+    def zeros(self, shape) -> np.ndarray:
+        return np.zeros(shape, dtype=self.dtype)
+
+    # ------------------------------------------------------------------
+    # gradient-buffer pool
+    # ------------------------------------------------------------------
+    def grad_buffer(self, shape, dtype) -> np.ndarray:
+        """A zeroed accumulator array (pooled when one was released)."""
+        return self.pool.take(tuple(shape), dtype)
+
+    def release(self, array: np.ndarray) -> None:
+        """Return a gradient buffer to the pool for reuse."""
+        self.pool.give(array)
+
+    # ------------------------------------------------------------------
+    # hot kernels (raw ndarray in, raw ndarray out; autograd wiring
+    # stays in tensor.py / treelstm.py)
+    # ------------------------------------------------------------------
+    def segment_sum(self, data: np.ndarray, segment_ids: np.ndarray,
+                    num_segments: int) -> np.ndarray:
+        """Sum rows of ``data`` into ``num_segments`` buckets.
+
+        ``reduceat`` fast path for non-decreasing ids (what every level
+        schedule emits); unsorted ids fall back to ``np.add.at``.
+        """
+        if segment_ids.size == 0:
+            return np.zeros((num_segments,) + data.shape[1:],
+                            dtype=data.dtype)
+        if np.all(segment_ids[:-1] <= segment_ids[1:]):
+            counts = np.bincount(segment_ids, minlength=num_segments)
+            starts = np.concatenate(
+                [np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1]])
+            nonempty = counts > 0
+            if nonempty.all():
+                return np.add.reduceat(data, starts, axis=0)
+            # Empty segments contribute no rows, so reducing at only the
+            # non-empty starts still sums each segment exactly.
+            out = np.zeros((num_segments,) + data.shape[1:],
+                           dtype=data.dtype)
+            out[nonempty] = np.add.reduceat(data, starts[nonempty], axis=0)
+            return out
+        out = np.zeros((num_segments,) + data.shape[1:], dtype=data.dtype)
+        np.add.at(out, segment_ids, data)
+        return out
+
+    def segment_sum_pair(self, a: np.ndarray, b: np.ndarray,
+                         segment_ids: np.ndarray,
+                         num_segments: int) -> np.ndarray:
+        """Fused bucket sum of two same-shaped operands -> ``(m, 2w)``.
+
+        One sweep over a twice-as-wide matrix instead of two scatters
+        (the tree-LSTM's h̃ and Σ f⊙c share the same edge list).
+        """
+        return self.segment_sum(np.concatenate([a, b], axis=1),
+                                segment_ids, num_segments)
+
+    def take_rows(self, data: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Row gather ``data[rows]`` (embedding/state lookup)."""
+        return data[rows]
+
+    def gather_rows(self, sources: list[np.ndarray], source_ids: np.ndarray,
+                    row_ids: np.ndarray, used: np.ndarray) -> np.ndarray:
+        """Multi-source row gather: ``out[e] = sources[src[e]][row[e]]``.
+
+        ``used`` is the (validated) unique source ids actually read.
+        """
+        out = np.empty((source_ids.shape[0],) + sources[0].shape[1:],
+                       dtype=sources[0].dtype)
+        for s in used:
+            mask = source_ids == s
+            out[mask] = sources[s][row_ids[mask]]
+        return out
+
+    def scatter_add_rows(self, out: np.ndarray, rows: np.ndarray,
+                         values: np.ndarray) -> None:
+        """In-place ``out[rows] += values`` with duplicate-safe adds."""
+        np.add.at(out, rows, values)
+
+    def gemm_gates(self, base: np.ndarray, mat: np.ndarray,
+                   weight: np.ndarray) -> np.ndarray:
+        """The gate projection ``base + mat @ weight.T`` (one GEMM).
+
+        ``base`` may broadcast (a bias row) or match the output shape
+        (a precomputed input projection); :meth:`gemm_gates` is the
+        forward of ``Tensor.addmm``, the fused op every LSTM/tree-LSTM
+        gate and linear layer routes through.
+        """
+        return base + mat @ weight.T
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @classmethod
+    def available(cls) -> bool:
+        return True
+
+    def describe(self) -> dict:
+        return {"name": self.name, "dtype": np.dtype(self.dtype).name,
+                "tolerance": self.tolerance}
+
+
+class Numpy64Backend(KernelBackend):
+    """The default: float64 end-to-end, bitwise-compatible with the
+    pre-backend inlined code."""
+
+
+class Numpy32Backend(KernelBackend):
+    """float32 end-to-end: half the memory traffic, wider SIMD/BLAS.
+
+    Agreement with the float64 reference is documented at
+    ``tolerance`` (absolute, on forward activations and gradients of
+    the shipped model sizes); resume stays bitwise-identical *within*
+    the backend.
+    """
+
+    name = "numpy32"
+    dtype = np.float32
+    tolerance = 3e-4
+
+
+class NumbaBackend(Numpy64Backend):
+    """JIT segment-sum/gather/scatter kernels (float64).
+
+    The JIT kernels accumulate in the same edge order as the
+    ``reduceat`` sweep, so the 1e-8 equivalence bar applies unchanged.
+    numba is imported lazily on first selection; GEMMs stay on BLAS
+    (numba cannot beat it). 2-D operands hit the JIT kernels; any other
+    rank falls back to the NumPy implementations.
+    """
+
+    name = "numba"
+    tolerance = 1e-8
+    _kernels = None
+
+    @classmethod
+    def available(cls) -> bool:
+        try:
+            import numba  # noqa: F401
+            return True
+        except Exception:
+            return False
+
+    def _jit(self):
+        if NumbaBackend._kernels is None:
+            from . import _numba_kernels
+            NumbaBackend._kernels = _numba_kernels.compile_kernels()
+        return NumbaBackend._kernels
+
+    def segment_sum(self, data, segment_ids, num_segments):
+        if data.ndim != 2 or segment_ids.size == 0:
+            return super().segment_sum(data, segment_ids, num_segments)
+        out = np.zeros((num_segments, data.shape[1]), dtype=data.dtype)
+        self._jit()["segment_sum"](
+            np.ascontiguousarray(data),
+            np.ascontiguousarray(segment_ids, dtype=np.int64), out)
+        return out
+
+    def segment_sum_pair(self, a, b, segment_ids, num_segments):
+        if a.ndim != 2 or segment_ids.size == 0:
+            return super().segment_sum_pair(a, b, segment_ids, num_segments)
+        out = np.zeros((num_segments, 2 * a.shape[1]), dtype=a.dtype)
+        self._jit()["segment_sum_pair"](
+            np.ascontiguousarray(a), np.ascontiguousarray(b),
+            np.ascontiguousarray(segment_ids, dtype=np.int64), out)
+        return out
+
+    def take_rows(self, data, rows):
+        if data.ndim != 2 or rows.ndim != 1 or not data.flags.c_contiguous:
+            return super().take_rows(data, rows)
+        out = np.empty((rows.shape[0], data.shape[1]), dtype=data.dtype)
+        self._jit()["take_rows"](
+            data, np.ascontiguousarray(rows, dtype=np.int64), out)
+        return out
+
+    def scatter_add_rows(self, out, rows, values):
+        if (out.ndim != 2 or values.ndim != 2
+                or not out.flags.c_contiguous):
+            super().scatter_add_rows(out, rows, values)
+            return
+        self._jit()["scatter_add_rows"](
+            out, np.ascontiguousarray(rows, dtype=np.int64),
+            np.ascontiguousarray(values))
+
+
+# ----------------------------------------------------------------------
+# registry + selection
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, KernelBackend] = {}
+_LOCK = threading.Lock()
+
+
+def register(backend: KernelBackend) -> KernelBackend:
+    """Add (or replace) a backend instance in the registry."""
+    with _LOCK:
+        _REGISTRY[backend.name] = backend
+    return backend
+
+
+register(Numpy64Backend())
+register(Numpy32Backend())
+register(NumbaBackend())
+
+_ACTIVE: KernelBackend = _REGISTRY["numpy64"]
+
+
+def get(name: str) -> KernelBackend:
+    """The registered backend called ``name``; raises on unknown or
+    (for optional backends) unavailable names."""
+    try:
+        backend = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r} (registered: "
+            f"{sorted(_REGISTRY)})") from None
+    if not backend.available():
+        raise BackendUnavailableError(
+            f"backend {name!r} is registered but unavailable here "
+            "(is its dependency installed?)")
+    return backend
+
+
+def active() -> KernelBackend:
+    """The backend every Tensor/kernel call currently dispatches to."""
+    return _ACTIVE
+
+
+def set_backend(name: str) -> KernelBackend:
+    """Select the process-wide backend (validates availability)."""
+    global _ACTIVE
+    _ACTIVE = get(name)
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def use(name: str):
+    """Scoped backend selection (tests, per-call overrides)::
+
+        with backend.use("numpy32"):
+            model = build_model(...)
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = get(name)
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+def available_backends() -> list[str]:
+    """Names of the backends that can actually run here."""
+    return sorted(n for n, b in _REGISTRY.items() if b.available())
+
+
+def default_dtype():
+    """The active backend's float dtype (the Tensor coercion target)."""
+    return _ACTIVE.dtype
+
+
+def describe() -> dict:
+    """Stats-stream-friendly identity of the active backend."""
+    return _ACTIVE.describe()
+
+
+def _init_from_env() -> None:
+    name = os.environ.get("REPRO_BACKEND", "").strip()
+    if not name or name == "numpy64":
+        return
+    try:
+        set_backend(name)
+    except BackendUnavailableError:
+        # The optional backend's dependency is missing: run on the
+        # default rather than refusing to import (CI legs and shared
+        # configs set REPRO_BACKEND=numba speculatively).
+        warnings.warn(f"REPRO_BACKEND={name} is unavailable here; "
+                      "falling back to numpy64", RuntimeWarning,
+                      stacklevel=2)
+    except ValueError as error:
+        raise ValueError(f"REPRO_BACKEND: {error}") from None
+
+
+_init_from_env()

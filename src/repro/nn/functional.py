@@ -49,11 +49,14 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 
 def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
-    """Affine map ``x @ weight.T + bias`` (same convention as torch)."""
-    out = x.matmul(weight.T)
+    """Affine map ``x @ weight.T + bias`` (same convention as torch).
+
+    The biased form runs as one fused :meth:`Tensor.addmm` node, which
+    dispatches to the active backend's ``gemm_gates`` kernel.
+    """
     if bias is not None:
-        out = out + bias
-    return out
+        return Tensor.addmm(bias, x, weight)
+    return x.matmul(weight.T)
 
 
 def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:

@@ -55,7 +55,7 @@ class GraphConv(Module):
         self.activation = activation
 
     def forward(self, h: Tensor, adj_norm: np.ndarray) -> Tensor:
-        out = Tensor(adj_norm).matmul(h).matmul(self.weight.T) + self.bias
+        out = Tensor.addmm(self.bias, Tensor(adj_norm).matmul(h), self.weight)
         return self._activate(out)
 
     def forward_packed(self, h: Tensor, adjs: list[np.ndarray],

@@ -1,34 +1,53 @@
-"""Weight initialization schemes."""
+"""Weight initialization schemes.
+
+Every initializer lands in the active backend's dtype (float64 by
+default, float32 under the ``numpy32`` backend) so freshly-built models
+are homogeneous without callers threading a dtype around. An explicit
+``dtype=`` overrides. Sampling always happens in float64 — the draw
+sequence (and therefore RNG state evolution) is identical across
+backends; only the stored width differs.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from . import backend as _backend
+
 __all__ = ["xavier_uniform", "xavier_normal", "kaiming_uniform", "uniform", "zeros"]
 
 
-def xavier_uniform(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+def _finish(array: np.ndarray, dtype) -> np.ndarray:
+    if dtype is None:
+        dtype = _backend.default_dtype()
+    return array.astype(dtype, copy=False)
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator, gain: float = 1.0,
+                   dtype=None) -> np.ndarray:
     """Glorot/Xavier uniform init for a (fan_out, fan_in) weight matrix."""
     fan_out, fan_in = shape[0], shape[-1]
     bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return _finish(rng.uniform(-bound, bound, size=shape), dtype)
 
 
-def xavier_normal(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+def xavier_normal(shape: tuple, rng: np.random.Generator, gain: float = 1.0,
+                  dtype=None) -> np.ndarray:
     fan_out, fan_in = shape[0], shape[-1]
     std = gain * np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return _finish(rng.normal(0.0, std, size=shape), dtype)
 
 
-def kaiming_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+def kaiming_uniform(shape: tuple, rng: np.random.Generator, dtype=None) -> np.ndarray:
     fan_in = shape[-1]
     bound = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape)
+    return _finish(rng.uniform(-bound, bound, size=shape), dtype)
 
 
-def uniform(shape: tuple, rng: np.random.Generator, bound: float = 0.1) -> np.ndarray:
-    return rng.uniform(-bound, bound, size=shape)
+def uniform(shape: tuple, rng: np.random.Generator, bound: float = 0.1,
+            dtype=None) -> np.ndarray:
+    return _finish(rng.uniform(-bound, bound, size=shape), dtype)
 
 
-def zeros(shape: tuple) -> np.ndarray:
-    return np.zeros(shape)
+def zeros(shape: tuple, dtype=None) -> np.ndarray:
+    return np.zeros(shape, dtype=dtype or _backend.default_dtype())

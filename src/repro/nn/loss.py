@@ -21,8 +21,9 @@ def bce_with_logits(logits: Tensor, targets) -> Tensor:
     ``(sigmoid(x) - y) / n``, which is both faster and numerically safer
     than composing it from elementary ops.
     """
-    y = np.asarray(targets, dtype=np.float64)
     x = logits.data
+    # Targets follow the logits' dtype so a float32 forward never widens.
+    y = np.asarray(targets, dtype=x.dtype)
     if x.shape != y.shape:
         y = np.broadcast_to(y, x.shape)
     loss_data = np.maximum(x, 0.0) - x * y + np.log1p(np.exp(-np.abs(x)))

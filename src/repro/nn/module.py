@@ -105,7 +105,9 @@ class Module:
             )
         for name, values in state.items():
             param = own[name]
-            values = np.asarray(values, dtype=np.float64)
+            # Land in the parameter's own dtype: the active backend chose
+            # it at construction, and loads must not silently widen it.
+            values = np.asarray(values, dtype=param.data.dtype)
             if values.shape != param.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: expected {param.shape}, "

@@ -60,9 +60,11 @@ class Optimizer:
     def _restore_arrays(self, values) -> list[np.ndarray]:
         """Validate and cast one per-parameter array list from a state.
 
-        Accepts any dtype numpy can cast to float64 (checkpoint files may
-        round-trip through float32 or integer arrays) but insists on one
-        array per parameter with matching shapes.
+        Accepts any castable dtype (checkpoint files may round-trip
+        through other widths) but insists on one array per parameter with
+        matching shapes. Restored moments land in each parameter's own
+        dtype so mixed-width models never smuggle float64 state into a
+        float32 run (or vice versa).
         """
         values = list(values)
         if len(values) != len(self.parameters):
@@ -71,7 +73,7 @@ class Optimizer:
                 f"{len(self.parameters)} parameters")
         arrays = []
         for value, p in zip(values, self.parameters):
-            arr = np.asarray(value, dtype=np.float64)
+            arr = np.asarray(value, dtype=p.data.dtype)
             if arr.shape != p.data.shape:
                 raise ValueError(
                     f"optimizer state shape {arr.shape} does not match "

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import backend as _backend
 from . import init
 from .module import Module, Parameter
 from .tensor import Tensor
@@ -42,12 +43,14 @@ class LSTMCell(Module):
         n = x.shape[0] if batched else 1
         if state is None:
             shape = (n, self.hidden_size) if batched else (self.hidden_size,)
-            h_prev = Tensor(np.zeros(shape))
-            c_prev = Tensor(np.zeros(shape))
+            h_prev = Tensor(_backend.active().zeros(shape))
+            c_prev = Tensor(_backend.active().zeros(shape))
         else:
             h_prev, c_prev = state
 
-        gates = x.matmul(self.w_x.T) + h_prev.matmul(self.w_h.T) + self.bias
+        # Fused gate GEMM; same (x·Wx + h·Wh) + b association as the
+        # unfused expression, so float64 results stay bitwise-identical.
+        gates = Tensor.addmm(x.matmul(self.w_x.T), h_prev, self.w_h) + self.bias
         hs = self.hidden_size
         axis = 1 if batched else 0
 

@@ -17,6 +17,8 @@ import threading
 
 import numpy as np
 
+from . import backend as _backend
+
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
 # Per-thread, so concurrent serving threads (repro.serve) toggling
@@ -43,11 +45,14 @@ def is_grad_enabled() -> bool:
 
 
 def _as_array(data) -> np.ndarray:
-    if isinstance(data, np.ndarray):
-        if data.dtype == np.float64:
-            return data
-        return data.astype(np.float64)
-    return np.asarray(data, dtype=np.float64)
+    """Coerce ``data`` under the active backend's dtype policy.
+
+    Float arrays land in the backend dtype (float64 on the default
+    backend, float32 under ``numpy32``). Integer and bool arrays pass
+    through untouched and uncopied — they are index maps and masks, and
+    silently floating them would break the gather/scatter kernels.
+    """
+    return _backend.active().asarray(data)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -138,7 +143,11 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = np.zeros_like(self.data)
+            # Pooled zeroed buffer: gradient shapes repeat exactly across
+            # training steps, so after the first batch this is a recycled
+            # array, not an allocation.
+            self.grad = _backend.active().grad_buffer(self.data.shape,
+                                                      self.data.dtype)
         self.grad += grad
 
     def _accumulate_at(self, key, grad: np.ndarray) -> None:
@@ -151,7 +160,13 @@ class Tensor:
         it directly — O(rows read) instead of O(tensor size).
         """
         if self.grad is None:
-            self.grad = np.zeros_like(self.data)
+            self.grad = _backend.active().grad_buffer(self.data.shape,
+                                                      self.data.dtype)
+        if isinstance(key, np.ndarray) and key.dtype.kind in "iu" and key.ndim == 1:
+            # Row scatter-add — the hot path of take_rows/gather_rows;
+            # dispatched so compiled backends can own it.
+            _backend.active().scatter_add_rows(self.grad, key, grad)
+            return
         keys = key if isinstance(key, tuple) else (key,)
         if all(isinstance(k, (int, np.integer, slice)) for k in keys):
             # Basic indexing cannot alias the same element twice.
@@ -387,7 +402,7 @@ class Tensor:
         dense ``zeros_like`` per read.
         """
         idx = np.asarray(indices, dtype=np.int64)
-        out_data = self.data[idx]
+        out_data = _backend.active().take_rows(self.data, idx)
 
         def backward(grad):
             if self.requires_grad:
@@ -441,13 +456,12 @@ class Tensor:
         row_idx = np.asarray(row_ids, dtype=np.int64)
         if src_ids.shape != row_idx.shape or src_ids.ndim != 1:
             raise ValueError("source_ids and row_ids must be equal-length 1-D arrays")
-        out_data = np.empty((src_ids.shape[0],) + sources[0].data.shape[1:])
         used = np.unique(src_ids)
         for s in used:
             if not 0 <= s < len(sources):
                 raise ValueError(f"source id {s} out of range for {len(sources)} sources")
-            mask = src_ids == s
-            out_data[mask] = sources[s].data[row_idx[mask]]
+        out_data = _backend.active().gather_rows(
+            [s.data for s in sources], src_ids, row_idx, used)
 
         def backward(grad):
             for s in used:
@@ -457,6 +471,38 @@ class Tensor:
                     src._accumulate_at(row_idx[mask], grad[mask])
 
         return Tensor._make(out_data, sources, backward)
+
+    @staticmethod
+    def addmm(base: "Tensor", mat: "Tensor", weight: "Tensor") -> "Tensor":
+        """Fused gate projection: ``base + mat @ weight.T`` as one node.
+
+        This is the shape of every linear/gate computation in the repo
+        (``bias + x @ W.T``, ``x_proj + h @ U.T``), dispatched to the
+        backend's ``gemm_gates`` kernel. One graph node instead of three
+        (transpose, matmul, add) — and its backward feeds the GEMM
+        outputs straight into the parents, skipping two intermediate
+        gradient arrays per gate per level.
+
+        ``base`` may broadcast against the GEMM output (a bias row) or
+        match it exactly (a precomputed input projection). Falls back to
+        the composed ops for non-2-D operands (e.g. 1-D step inputs).
+        """
+        base = Tensor._coerce(base)
+        mat = Tensor._coerce(mat)
+        weight = Tensor._coerce(weight)
+        if mat.data.ndim != 2 or weight.data.ndim != 2:
+            return base + mat.matmul(weight.T)
+        out_data = _backend.active().gemm_gates(base.data, mat.data, weight.data)
+
+        def backward(grad):
+            if base.requires_grad:
+                base._accumulate(_unbroadcast(grad, base.shape))
+            if mat.requires_grad:
+                mat._accumulate(grad @ weight.data)
+            if weight.requires_grad:
+                weight._accumulate(grad.T @ mat.data)
+
+        return Tensor._make(out_data, (base, mat, weight), backward)
 
     # ------------------------------------------------------------------
     # combination ops used by the tree models
@@ -510,8 +556,18 @@ class Tensor:
     # ------------------------------------------------------------------
     # backward
     # ------------------------------------------------------------------
-    def backward(self, grad=None) -> None:
-        """Backpropagate from this tensor through the recorded graph."""
+    def backward(self, grad=None, free_buffers: bool = False) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        With ``free_buffers=True``, each intermediate (non-leaf) node's
+        gradient array is returned to the backend's buffer pool as soon
+        as its backward hook has consumed it, and ``.grad`` is reset to
+        ``None``. Leaf gradients (parameters, inputs) are kept. Safe
+        because no backward hook retains a reference to its incoming
+        gradient array — they all copy via ``+=`` / scatter-add. The
+        training engine opts in; callers that inspect intermediate
+        ``.grad`` after backward should keep the default.
+        """
         if not self.requires_grad:
             raise RuntimeError("called backward on a tensor that does not require grad")
         if grad is None:
@@ -538,6 +594,15 @@ class Tensor:
                     stack.append((parent, False))
 
         self._accumulate(grad)
+        if not free_buffers:
+            for node in reversed(order):
+                if node._backward is not None and node.grad is not None:
+                    node._backward(node.grad)
+            return
+        pool = _backend.active()
         for node in reversed(order):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
+                # Intermediate grads are dead once propagated — recycle.
+                pool.release(node.grad)
+                node.grad = None

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import backend as _backend
 from . import init
 from .module import Module, Parameter
 from .tensor import Tensor
@@ -67,31 +68,15 @@ def _segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tenso
 
 def _segment_reduce(data: np.ndarray, segment_ids: np.ndarray,
                     num_segments: int) -> np.ndarray:
-    """Raw segment sum with a ``reduceat`` fast path for sorted ids.
+    """Raw segment sum, dispatched to the active backend's kernel.
 
-    Level schedules emit edges grouped by parent, so ``segment_ids`` is
-    non-decreasing in the hot path and the sum becomes one contiguous
-    ``np.add.reduceat`` sweep instead of the much slower per-element
-    ``np.add.at`` scatter. Unsorted ids (not produced by any schedule,
-    but allowed) fall back to the scatter.
+    The backend keeps the historical behaviour: a ``reduceat`` fast path
+    for non-decreasing ids (what every level schedule emits, including
+    the empty-segment variant) and a ``np.add.at`` scatter fallback for
+    unsorted ids. Compiled backends replace both with a JIT loop that
+    accumulates in the same edge order.
     """
-    if segment_ids.size == 0:
-        return np.zeros((num_segments,) + data.shape[1:])
-    if np.all(segment_ids[:-1] <= segment_ids[1:]):
-        counts = np.bincount(segment_ids, minlength=num_segments)
-        starts = np.concatenate(
-            [np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1]])
-        nonempty = counts > 0
-        if nonempty.all():
-            return np.add.reduceat(data, starts, axis=0)
-        # Empty segments contribute no rows, so reducing at only the
-        # non-empty starts still sums each segment exactly.
-        out = np.zeros((num_segments,) + data.shape[1:])
-        out[nonempty] = np.add.reduceat(data, starts[nonempty], axis=0)
-        return out
-    out = np.zeros((num_segments,) + data.shape[1:])
-    np.add.at(out, segment_ids, data)
-    return out
+    return _backend.active().segment_sum(data, segment_ids, num_segments)
 
 
 def _segment_sum_pair(a: Tensor, b: Tensor, segment_ids: np.ndarray,
@@ -106,8 +91,8 @@ def _segment_sum_pair(a: Tensor, b: Tensor, segment_ids: np.ndarray,
     per level (the ROADMAP "fuse the two ``_segment_sum`` calls" lever).
     """
     width = a.shape[1]
-    fused = _segment_reduce(np.concatenate([a.data, b.data], axis=1),
-                            segment_ids, num_segments)
+    fused = _backend.active().segment_sum_pair(a.data, b.data,
+                                               segment_ids, num_segments)
 
     def backward(grad):
         gathered = grad[segment_ids]
@@ -370,8 +355,8 @@ class ChildSumTreeLSTM(Module):
             raise ValueError(
                 f"feature rows ({x.shape[0]}) != schedule nodes ({schedule.num_nodes})"
             )
-        x_iou = x.matmul(self.w_iou.T) + self.b_iou  # (n, 3h)
-        x_f = x.matmul(self.w_f.T) + self.b_f        # (n, h)
+        x_iou = Tensor.addmm(self.b_iou, x, self.w_iou)  # (n, 3h)
+        x_f = Tensor.addmm(self.b_f, x, self.w_f)        # (n, h)
         if direction == "up":
             return self._run_up(x_iou, x_f, schedule)
         return self._run_down(x_iou, x_f, schedule)
@@ -379,7 +364,7 @@ class ChildSumTreeLSTM(Module):
     # ------------------------------------------------------------------
     def _level_step(self, x_iou_level: Tensor, h_tilde: Tensor, fc: Tensor):
         hs = self.hidden_size
-        iou = x_iou_level + h_tilde.matmul(self.u_iou.T)
+        iou = Tensor.addmm(x_iou_level, h_tilde, self.u_iou)
         i = iou[:, 0 * hs:1 * hs].sigmoid()
         o = iou[:, 1 * hs:2 * hs].sigmoid()
         u = iou[:, 2 * hs:3 * hs].tanh()
@@ -412,15 +397,15 @@ class ChildSumTreeLSTM(Module):
                 h_children = Tensor.gather_rows(h_levels, src, off)
                 c_children = Tensor.gather_rows(c_levels, src, off)
                 # Per-edge forget gates f_jk applied to each child's cell.
-                f_edges = (x_f.take_rows(nodes[edge_parent_pos])
-                           + h_children.matmul(self.u_f.T)).sigmoid()
+                f_edges = Tensor.addmm(x_f.take_rows(nodes[edge_parent_pos]),
+                                       h_children, self.u_f).sigmoid()
                 # h~ and sum(f*c) bucket over the same edges: one fused
                 # segment sweep instead of two.
                 h_tilde, fc = _segment_sum_pair(
                     h_children, f_edges * c_children, edge_parent_pos, m)
             else:
-                h_tilde = Tensor(np.zeros((m, hs)))
-                fc = Tensor(np.zeros((m, hs)))
+                h_tilde = Tensor(_backend.active().zeros((m, hs)))
+                fc = Tensor(_backend.active().zeros((m, hs)))
 
             h_level, c_level = self._level_step(x_iou.take_rows(nodes), h_tilde, fc)
             h_levels.append(h_level)
@@ -456,12 +441,12 @@ class ChildSumTreeLSTM(Module):
                 h_par = h_levels[-1].take_rows(parent_rows)
                 c_par = c_levels[-1].take_rows(parent_rows)
                 h_tilde = h_par
-                f = (x_f.take_rows(nodes) + h_par.matmul(self.u_f.T)).sigmoid()
+                f = Tensor.addmm(x_f.take_rows(nodes), h_par, self.u_f).sigmoid()
                 fc = f * c_par
             else:
                 # Root level (all trees' roots in a forest): zero state.
-                h_tilde = Tensor(np.zeros((m, hs)))
-                fc = Tensor(np.zeros((m, hs)))
+                h_tilde = Tensor(_backend.active().zeros((m, hs)))
+                fc = Tensor(_backend.active().zeros((m, hs)))
 
             h_level, c_level = self._level_step(x_iou.take_rows(nodes), h_tilde, fc)
             h_levels.append(h_level)

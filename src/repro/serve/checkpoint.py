@@ -41,12 +41,14 @@ import numpy as np
 from ..core.features import TreeFeaturizer
 from ..core.model import ComparativeModel, model_from_config
 from ..lang.vocab import NodeVocab
+from ..nn import backend as nn_backend
 from ..nn.optim import Optimizer, optimizer_from_state
 from ..nn.serialize import load_meta, load_state_with_meta, save_state
 
 __all__ = ["save_checkpoint", "load_checkpoint", "read_checkpoint_meta",
            "save_training_checkpoint", "load_training_checkpoint",
            "checkpoint_signature", "NotACheckpointError",
+           "CheckpointDtypeError",
            "CHECKPOINT_FORMAT", "CHECKPOINT_VERSION", "TRAINING_KEY_PREFIX"]
 
 CHECKPOINT_FORMAT = "repro-model-checkpoint"
@@ -66,6 +68,41 @@ class NotACheckpointError(ValueError):
     """
 
 
+class CheckpointDtypeError(ValueError):
+    """The checkpoint's recorded dtype differs from the active backend's.
+
+    Loading a float64 checkpoint into a float32 process (or vice versa)
+    silently changes every weight — and, on resume, breaks the bitwise
+    continuation guarantee — so cross-dtype loads must be requested
+    explicitly with ``cast=True`` (CLI: ``--cast``). Carries the facts a
+    caller needs to decide: ``stored``, ``active``, and ``path``.
+    """
+
+    def __init__(self, stored: str, active: str, path):
+        self.stored = stored
+        self.active = active
+        self.path = str(path)
+        super().__init__(
+            f"checkpoint {path} stores {stored} weights but the active "
+            f"backend runs {active}; pass cast=True (CLI: --cast) to "
+            "convert explicitly, or select a matching backend "
+            "(REPRO_BACKEND / --backend)")
+
+
+def _checkpoint_dtype(model: ComparativeModel) -> str:
+    for p in model.parameters():
+        return np.dtype(p.data.dtype).name
+    return np.dtype(nn_backend.default_dtype()).name
+
+
+def _check_dtype(meta: dict, path, cast: bool) -> None:
+    # Pre-v2 checkpoints predate the dtype policy: everything was float64.
+    stored = str(meta.get("dtype", "float64"))
+    active = np.dtype(nn_backend.default_dtype()).name
+    if stored != active and not cast:
+        raise CheckpointDtypeError(stored, active, path)
+
+
 def _model_meta(model: ComparativeModel, extra: dict | None,
                 version: int = 1) -> dict:
     config = getattr(model, "config", None)
@@ -78,6 +115,10 @@ def _model_meta(model: ComparativeModel, extra: dict | None,
         "version": version,
         "model": dict(config),
         "vocab": model.featurizer.vocab.to_payload(),
+        # The weights' float width + producing backend: loaders refuse a
+        # silent cross-dtype load (see CheckpointDtypeError).
+        "dtype": _checkpoint_dtype(model),
+        "backend": nn_backend.active().name,
         "extra": dict(extra) if extra else {},
     }
 
@@ -154,29 +195,40 @@ def _rebuild_model(state: dict, meta: dict) -> ComparativeModel:
     return model
 
 
-def load_checkpoint(path) -> ComparativeModel:
+def load_checkpoint(path, cast: bool = False) -> ComparativeModel:
     """Rebuild a ready model from a checkpoint written by
     :func:`save_checkpoint` (or a v2 training checkpoint, whose
     training-only arrays are skipped without being read) —
-    architecture, vocabulary, and weights all come from the archive."""
+    architecture, vocabulary, and weights all come from the archive.
+
+    If the recorded dtype differs from the active backend's, the load
+    fails with :class:`CheckpointDtypeError` unless ``cast=True``
+    explicitly requests the conversion.
+    """
     state, meta = load_state_with_meta(path,
                                        skip_prefix=TRAINING_KEY_PREFIX)
     meta = _validated_meta(meta, path)
+    _check_dtype(meta, path, cast)
     model = _rebuild_model(state, meta)
     model.eval()
     return model
 
 
-def load_training_checkpoint(path) -> tuple[ComparativeModel, Optimizer, dict]:
+def load_training_checkpoint(path, cast: bool = False,
+                             ) -> tuple[ComparativeModel, Optimizer, dict]:
     """Rebuild ``(model, optimizer, training_section)`` from a v2
     training checkpoint, ready for ``Engine.from_checkpoint`` to resume.
 
     The model comes back in *train* mode; the optimizer is
     reconstructed from its recorded type/hyper-parameters with its
-    moment arrays and step counter restored exactly.
+    moment arrays and step counter restored exactly. Cross-dtype resume
+    breaks the bitwise-continuation guarantee, so it requires an
+    explicit ``cast=True`` (which converts weights *and* moments to the
+    active dtype) — otherwise :class:`CheckpointDtypeError`.
     """
     state, meta = load_state_with_meta(path)
     meta = _validated_meta(meta, path)
+    _check_dtype(meta, path, cast)
     training = meta.get("training")
     if not training:
         raise ValueError(
@@ -221,7 +273,8 @@ def checkpoint_signature(path) -> dict:
     meta = read_checkpoint_meta(path)
     extra = meta.get("extra", {})
     signature = {"path": str(path), "sha": digest,
-                 "format_version": meta["version"]}
+                 "format_version": meta["version"],
+                 "dtype": str(meta.get("dtype", "float64"))}
     for key in ("epochs", "accuracy", "tag"):
         if key in extra:
             signature[key] = extra[key]

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..core.features import TreeFeatures
 from ..core.model import ComparativeModel
+from ..nn import backend as nn_backend
 from ..nn.tensor import Tensor, no_grad
 from .batcher import MicroBatcher
 from .cache import LruCache, canonical_key
@@ -92,9 +93,15 @@ class PredictionService:
         self._started = time.monotonic()
 
     @classmethod
-    def from_checkpoint(cls, path, **kwargs) -> "PredictionService":
-        """Boot a service straight from a versioned checkpoint file."""
-        return cls(load_checkpoint(path), **kwargs)
+    def from_checkpoint(cls, path, cast: bool = False,
+                        **kwargs) -> "PredictionService":
+        """Boot a service straight from a versioned checkpoint file.
+
+        ``cast=True`` permits serving a checkpoint whose recorded dtype
+        differs from the active backend's (weights are converted on
+        load); the default refuses with ``CheckpointDtypeError``.
+        """
+        return cls(load_checkpoint(path, cast=cast), **kwargs)
 
     def _count(self, op: str, by: int = 1) -> None:
         with self._counts_lock:
@@ -295,6 +302,9 @@ class PredictionService:
         total = sum(counts.values())
         return {
             "requests": dict(counts, total=total),
+            # Which kernel backend/dtype produced the numbers, so load
+            # tests can attribute throughput to the right configuration.
+            "backend": nn_backend.describe(),
             "cache": self.cache.stats(),
             "batcher": self.batcher.stats(),
             "encoder": {

@@ -156,7 +156,8 @@ class SupervisorConfig:
                  watch: bool = False, watch_poll_ms: float = 500.0,
                  stats_interval_ms: float = 0.0, seed: int = 0,
                  max_batch: int = 32, cache_size: int = 1024,
-                 cache_max_nodes: int | None = None):
+                 cache_max_nodes: int | None = None,
+                 cast: bool = False):
         self.request_timeout_ms = request_timeout_ms
         self.high_water = high_water
         self.max_attempts = max_attempts
@@ -175,6 +176,9 @@ class SupervisorConfig:
         self.max_batch = max_batch
         self.cache_size = cache_size
         self.cache_max_nodes = cache_max_nodes
+        # Allow workers to load a checkpoint whose dtype differs from
+        # the active backend's (explicit opt-in, mirrors the CLI --cast).
+        self.cast = cast
 
 
 _COUNTER_NAMES = (
@@ -296,6 +300,8 @@ class Supervisor:
                "--cache-size", str(self.config.cache_size)]
         if self.config.cache_max_nodes is not None:
             cmd += ["--cache-max-nodes", str(self.config.cache_max_nodes)]
+        if self.config.cast:
+            cmd += ["--cast"]
         plan = self.fault_plans.get(shard)
         if plan and generation == 1:
             cmd += ["--faults", plan]
@@ -782,8 +788,20 @@ class Supervisor:
             encoder = service.get("encoder", {})
             totals["trees_encoded"] += encoder.get("trees_encoded", 0)
             totals["requests"] += service.get("requests", {}).get("total", 0)
+        # The workers' kernel backend + dtype (polled from their service
+        # stats; they inherit REPRO_BACKEND through the environment), so
+        # the --stats-every JSONL stream attributes throughput to the
+        # right configuration. Falls back to this process's backend
+        # before the first worker poll completes.
+        backend = next(((w.get("service") or {}).get("backend")
+                        for w in workers + draining
+                        if (w.get("service") or {}).get("backend")), None)
+        if backend is None:
+            from ..nn import backend as nn_backend
+            backend = nn_backend.describe()
         return {"uptime_s": time.monotonic() - self._started,
                 "checkpoint": signature, "shards": self.n_shards,
+                "backend": dict(backend),
                 "counters": counters, "totals": totals,
                 "workers": workers, "draining": draining,
                 "recent_events": events}

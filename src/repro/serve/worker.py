@@ -56,6 +56,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-batch", type=int, default=32)
     parser.add_argument("--cache-size", type=int, default=1024)
     parser.add_argument("--cache-max-nodes", type=int, default=None)
+    parser.add_argument("--cast", action="store_true",
+                        help="permit loading a checkpoint whose dtype "
+                             "differs from the active backend's "
+                             "(REPRO_BACKEND)")
     parser.add_argument("--faults", default=None,
                         help="JSON FaultPlan (chaos testing only)")
     args = parser.parse_args(argv)
@@ -75,7 +79,7 @@ def main(argv: list[str] | None = None) -> int:
         # supervisor provides concurrency across workers, and an inline
         # batcher gives maximal fused batches for this worker's queue.
         service = PredictionService.from_checkpoint(
-            args.model, max_batch=args.max_batch,
+            args.model, cast=args.cast, max_batch=args.max_batch,
             cache_size=args.cache_size,
             cache_max_nodes=args.cache_max_nodes, threaded=False)
     except Exception as error:

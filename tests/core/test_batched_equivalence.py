@@ -14,6 +14,8 @@ from repro.core import TrainConfig, Trainer, build_model, pack_forest
 from repro.data import sample_pairs
 from repro.nn import Tensor, bce_with_logits
 
+from ..helpers import backend_tolerance
+
 DIRECTIONS = ("uni", "bi", "alternating")
 
 
@@ -43,7 +45,7 @@ class TestLogitEquivalence:
                  for p in _pairs(corpus_c, 6)]
         batched = model.pair_logits(feats)
         sequential = np.array([model.pair_logit(*f).item() for f in feats])
-        np.testing.assert_allclose(batched.data, sequential, atol=1e-8)
+        np.testing.assert_allclose(batched.data, sequential, atol=backend_tolerance(1e-8))
 
     def test_gcn_batched_matches_sequential(self, corpus_c):
         model = build_model("gcn", embedding_dim=10, hidden_size=10,
@@ -53,7 +55,7 @@ class TestLogitEquivalence:
                  for p in _pairs(corpus_c, 6)]
         batched = model.pair_logits(feats)
         sequential = np.array([model.pair_logit(*f).item() for f in feats])
-        np.testing.assert_allclose(batched.data, sequential, atol=1e-8)
+        np.testing.assert_allclose(batched.data, sequential, atol=backend_tolerance(1e-8))
 
     def test_pack_forest_roundtrip(self, corpus_c):
         model = build_model(embedding_dim=8, hidden_size=8)
@@ -73,8 +75,8 @@ class TestLogitEquivalence:
         p_big = trainer.predict_probabilities(pairs, batch_size=10)
         p_small = trainer.predict_probabilities(pairs, batch_size=3)
         p_one = trainer.predict_probabilities(pairs, batch_size=1)
-        np.testing.assert_allclose(p_big, p_small, atol=1e-8)
-        np.testing.assert_allclose(p_big, p_one, atol=1e-8)
+        np.testing.assert_allclose(p_big, p_small, atol=backend_tolerance(1e-8))
+        np.testing.assert_allclose(p_big, p_one, atol=backend_tolerance(1e-8))
 
     def test_predict_probabilities_rejects_bad_batch_size(self, corpus_c):
         model = build_model(embedding_dim=8, hidden_size=8)
@@ -104,9 +106,9 @@ class TestTrainingEquivalence:
         hist_sequential = SequentialTrainer(model_b, config).fit(pairs)
 
         np.testing.assert_allclose(hist_batched.losses,
-                                   hist_sequential.losses, atol=1e-7)
+                                   hist_sequential.losses, atol=backend_tolerance(1e-7))
         feats = [(model_a.featurizer(p.first.source),
                   model_a.featurizer(p.second.source)) for p in pairs[:4]]
         za = model_a.pair_logits(feats).data
         zb = np.array([model_b.pair_logit(*f).item() for f in feats])
-        np.testing.assert_allclose(za, zb, atol=1e-6)
+        np.testing.assert_allclose(za, zb, atol=backend_tolerance(1e-6))

@@ -8,6 +8,8 @@ from repro.core import (
     TreeFeaturizer, TreeLstmEncoder, build_model, model_from_config,
 )
 
+from ..helpers import backend_tolerance
+
 FAST = "int main() { int n; cin >> n; cout << n * (n + 1) / 2; return 0; }"
 SLOW = """
 int main() {
@@ -66,7 +68,7 @@ class TestEncoders:
         feats = [featurizer(FAST), featurizer(SLOW)]
         batched = enc.encode_batch(feats).data
         for row, f in zip(batched, feats):
-            np.testing.assert_allclose(row, enc(f).data, atol=1e-12)
+            np.testing.assert_allclose(row, enc(f).data, atol=backend_tolerance(1e-12))
 
 
 class TestClassifier:
@@ -158,14 +160,14 @@ class TestComparativeModel:
         np.testing.assert_array_equal(out[0], out[2])
         np.testing.assert_array_equal(out[0], out[3])
         np.testing.assert_array_equal(out[1], out[4])
-        np.testing.assert_allclose(out[0], model.embed(FAST), atol=1e-12)
+        np.testing.assert_allclose(out[0], model.embed(FAST), atol=backend_tolerance(1e-12))
 
     def test_embed_batch_dedup_respects_batch_size(self):
         model = build_model(embedding_dim=8, hidden_size=8)
         sources = [FAST, SLOW] * 3
         np.testing.assert_allclose(
             model.embed_batch(sources, batch_size=1),
-            model.embed_batch(sources, batch_size=64), atol=1e-12)
+            model.embed_batch(sources, batch_size=64), atol=backend_tolerance(1e-12))
 
     def test_probability_complementary_when_swapped_after_training(self):
         # Untrained models need not satisfy this; just check both orders

@@ -5,14 +5,15 @@ import pytest
 
 from repro.nn import Tensor, functional as F
 
-from ..helpers import check_gradients
+from ..helpers import backend_tolerance, check_gradients
 
 
 class TestSoftmax:
     def test_rows_sum_to_one(self):
         x = Tensor(np.random.default_rng(0).normal(size=(4, 5)))
         out = F.softmax(x, axis=-1)
-        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4))
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4),
+                                   atol=backend_tolerance(1e-10))
 
     def test_stable_for_large_values(self):
         x = Tensor(np.array([[1000.0, 1000.0], [-1000.0, 1000.0]]))
@@ -30,7 +31,8 @@ class TestSoftmax:
         x = Tensor(np.random.default_rng(2).normal(size=(2, 6)))
         log_sm = F.log_softmax(x)
         np.testing.assert_allclose(np.exp(log_sm.data),
-                                   F.softmax(x).data, atol=1e-10)
+                                   F.softmax(x).data,
+                                   atol=backend_tolerance(1e-10))
 
 
 class TestLinearFn:

@@ -77,14 +77,14 @@ def test_adam_state_round_trips_through_npz(tmp_path):
                                    np.int64])
 def test_load_accepts_any_castable_dtype(dtype):
     """Checkpoint arrays may come back in narrower dtypes; loading casts
-    to the training dtype (float64) instead of failing."""
+    to each parameter's training dtype instead of failing."""
     model = TinyModel()
     adam = Adam(model.parameters(), lr=0.01)
     state = adam.state_dict()
     state["m"] = [np.ones_like(m).astype(dtype) for m in state["m"]]
     adam.load_state_dict(state)
-    for m in adam._m:
-        assert m.dtype == np.float64
+    for p, m in zip(adam.parameters, adam._m):
+        assert m.dtype == p.data.dtype
         np.testing.assert_array_equal(m, np.ones_like(m))
 
 

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro.nn import (ChildSumTreeLSTM, ForestSchedule, LSTM, Tensor,
                       TreeLSTMStack, TreeSchedule, schedule_for)
 
-from ..helpers import check_gradients, numeric_grad
+from ..helpers import backend_tolerance, check_gradients
 
 
 def chain_children(n):
@@ -114,9 +114,9 @@ class TestForestSchedule:
         for t, (s, x) in enumerate(zip(scheds, xs)):
             h_t, c_t = cell(Tensor(x), s, direction=direction)
             np.testing.assert_allclose(h_f.data[offs[t]:offs[t + 1]], h_t.data,
-                                       atol=1e-12)
+                                       atol=backend_tolerance(1e-12))
             np.testing.assert_allclose(c_f.data[offs[t]:offs[t + 1]], c_t.data,
-                                       atol=1e-12)
+                                       atol=backend_tolerance(1e-12))
 
     def test_forest_gradients_match_per_tree(self):
         rng = np.random.default_rng(3)
@@ -132,10 +132,10 @@ class TestForestSchedule:
         for t, (s, x) in enumerate(zip(scheds, xs)):
             xi = Tensor(x, requires_grad=True)
             zi = stack.encode(xi, s)
-            np.testing.assert_allclose(zi.data, z.data[t], atol=1e-12)
+            np.testing.assert_allclose(zi.data, z.data[t], atol=backend_tolerance(1e-12))
             (zi ** 2).sum().backward()
             np.testing.assert_allclose(x_cat.grad[offs[t]:offs[t + 1]],
-                                       xi.grad, atol=1e-10)
+                                       xi.grad, atol=backend_tolerance(1e-10))
 
     def test_forest_gradcheck_numeric(self):
         """Finite-difference gradcheck straight through the fused pass."""
@@ -158,7 +158,7 @@ class TestForestSchedule:
         z = stack.root_states(x, sched)
         assert z.shape == (1, 4)
         np.testing.assert_allclose(z.data[0], stack.encode(x, sched).data,
-                                   atol=1e-12)
+                                   atol=backend_tolerance(1e-12))
 
 
 class TestScheduleMemo:
@@ -186,8 +186,8 @@ class TestChildSumEquations:
         u = np.tanh(iou[6:9])
         c_exp = i * u
         h_exp = o * np.tanh(c_exp)
-        np.testing.assert_allclose(h.data[0], h_exp, atol=1e-12)
-        np.testing.assert_allclose(c.data[0], c_exp, atol=1e-12)
+        np.testing.assert_allclose(h.data[0], h_exp, atol=backend_tolerance(1e-12))
+        np.testing.assert_allclose(c.data[0], c_exp, atol=backend_tolerance(1e-12))
 
     def test_parent_aggregates_children_manual(self):
         """Verify eq. 4 by hand on a root with two leaves."""
@@ -215,8 +215,8 @@ class TestChildSumEquations:
         f2 = sig(cell.w_f.data @ x.data[0] + cell.u_f.data @ h2 + cell.b_f.data)
         c0 = i * u + f1 * c1 + f2 * c2
         h0 = o * np.tanh(c0)
-        np.testing.assert_allclose(c.data[0], c0, atol=1e-10)
-        np.testing.assert_allclose(h.data[0], h0, atol=1e-10)
+        np.testing.assert_allclose(c.data[0], c0, atol=backend_tolerance(1e-10))
+        np.testing.assert_allclose(h.data[0], h0, atol=backend_tolerance(1e-10))
 
     def test_child_order_invariance(self):
         """Child-sum aggregation must not depend on sibling order."""
@@ -225,7 +225,7 @@ class TestChildSumEquations:
         x = rng.normal(size=(4, 3))
         h1, _ = cell(Tensor(x), TreeSchedule([[1, 2, 3], [], [], []]))
         h2, _ = cell(Tensor(x), TreeSchedule([[3, 2, 1], [], [], []]))
-        np.testing.assert_allclose(h1.data[0], h2.data[0], atol=1e-12)
+        np.testing.assert_allclose(h1.data[0], h2.data[0], atol=backend_tolerance(1e-12))
 
     def test_chain_tree_matches_sequential_lstm(self):
         """On a chain, child-sum tree-LSTM == sequential LSTM (same weights).
@@ -255,7 +255,7 @@ class TestChildSumEquations:
         h_tree, _ = cell(Tensor(x), TreeSchedule(chain_children(n)))
         # Sequence order: last chain node first.
         _, (h_final, _) = lstm(Tensor(x[::-1].copy()))
-        np.testing.assert_allclose(h_tree.data[0], h_final.data, atol=1e-10)
+        np.testing.assert_allclose(h_tree.data[0], h_final.data, atol=backend_tolerance(1e-10))
 
     def test_gradients_small_tree(self):
         rng = np.random.default_rng(11)
@@ -362,11 +362,8 @@ def test_property_random_tree_root_grad_matches_numeric(seed, n):
     cell = ChildSumTreeLSTM(2, 2, rng=rng)
     x = Tensor(rng.normal(size=(n, 2)), requires_grad=True)
 
-    h, _ = cell(x, sched)
-    loss = (h[0] ** 2).sum()
-    loss.backward()
+    def loss():
+        h, _ = cell(x, sched)
+        return (h[0] ** 2).sum()
 
-    expected = numeric_grad(
-        lambda: float((cell(Tensor(x.data), sched)[0][0] ** 2).sum().data), x.data
-    )
-    np.testing.assert_allclose(x.grad, expected, atol=1e-4, rtol=1e-3)
+    check_gradients(loss, [x], atol=1e-4, rtol=1e-3)

@@ -32,6 +32,8 @@ from repro.serve.cluster import ClusterClient, ClusterServer, probe
 from repro.serve.faults import corrupt_checkpoint
 from repro.serve.supervisor import SupervisorConfig
 
+from ..helpers import backend_tolerance
+
 from .test_service_e2e import variants
 
 pytestmark = pytest.mark.slow      # spawns worker subprocesses
@@ -91,21 +93,21 @@ class TestClusterEquivalence:
                 reply = client.request({"op": "embed", "source": source})
                 assert reply["ok"] is True
                 np.testing.assert_allclose(reply["embedding"],
-                                           model.embed(source), atol=1e-8)
+                                           model.embed(source), atol=backend_tolerance(1e-8))
             reply = client.request({"op": "compare", "first": sources[0],
                                     "second": sources[1]})
             assert reply["p_first_slower"] == pytest.approx(
-                model.predict_probability(sources[0], sources[1]), abs=1e-8)
+                model.predict_probability(sources[0], sources[1]), abs=backend_tolerance(1e-8))
             reply = client.request({"op": "compare", "old": sources[2],
                                     "new": sources[3], "threshold": 0.9})
             assert reply["regression_probability"] == pytest.approx(
-                model.predict_probability(sources[3], sources[2]), abs=1e-8)
+                model.predict_probability(sources[3], sources[2]), abs=backend_tolerance(1e-8))
             assert reply["flagged"] is False
             reply = client.request({"op": "embed_many",
                                     "sources": sources[:3]})
             for row, source in zip(reply["embeddings"], sources[:3]):
                 np.testing.assert_allclose(row, model.embed(source),
-                                           atol=1e-8)
+                                           atol=backend_tolerance(1e-8))
             reply = client.request({"op": "rank",
                                     "candidates": sources[:4]})
             for entry in reply["ranking"]:
@@ -113,7 +115,7 @@ class TestClusterEquivalence:
                 probs = [model.predict_probability(sources[i], other)
                          for j, other in enumerate(sources[:4]) if j != i]
                 assert entry["score"] == pytest.approx(
-                    float(np.mean(probs)), abs=1e-8)
+                    float(np.mean(probs)), abs=backend_tolerance(1e-8))
 
     def test_structured_errors_with_codes(self, server):
         with ClusterClient(server.address) as client:
@@ -141,7 +143,7 @@ class TestClusterEquivalence:
             reply = json.loads(stream.readline())
             assert reply["ok"] is True
             np.testing.assert_allclose(reply["embedding"],
-                                       model.embed(source), atol=1e-8)
+                                       model.embed(source), atol=backend_tolerance(1e-8))
 
     def test_out_of_order_replies_rematch_by_id(self, server, model):
         sources = variants(4)
@@ -152,7 +154,7 @@ class TestClusterEquivalence:
             for request_id, source in zip(reversed(ids), reversed(sources)):
                 reply = client.recv(request_id)
                 np.testing.assert_allclose(reply["embedding"],
-                                           model.embed(source), atol=1e-8)
+                                           model.embed(source), atol=backend_tolerance(1e-8))
 
     def test_probe_healthcheck(self, server):
         host, port = server.address
@@ -177,7 +179,7 @@ class TestShardAffinity:
                                                 "source": source})
                         np.testing.assert_allclose(
                             reply["embedding"], model.embed(source),
-                            atol=1e-8)
+                            atol=backend_tolerance(1e-8))
                 # a reformatted resubmission routes to the same shard
                 reformatted = sources[0].replace("\n    ", "\n          ")
                 assert server.router.shard_for(
@@ -186,7 +188,7 @@ class TestShardAffinity:
                                         "source": reformatted})
                 np.testing.assert_allclose(reply["embedding"],
                                            model.embed(sources[0]),
-                                           atol=1e-8)
+                                           atol=backend_tolerance(1e-8))
                 # wait for a stats poll cycle to pick up worker counters
                 wait_until(
                     lambda: client.request({"op": "cluster_stats"})
@@ -224,7 +226,7 @@ class TestOverloadShedding:
         assert all("retry" in r["error"] for r in shed)
         for reply in served:
             np.testing.assert_allclose(reply["embedding"],
-                                       model.embed(source), atol=1e-8)
+                                       model.embed(source), atol=backend_tolerance(1e-8))
 
 
 class TestHangAndDeadline:
@@ -260,7 +262,7 @@ class TestHangAndDeadline:
                                        timeout=20)
                 assert reply["ok"] is True
                 np.testing.assert_allclose(reply["embedding"],
-                                           model.embed(source), atol=1e-8)
+                                           model.embed(source), atol=backend_tolerance(1e-8))
             stats = server.supervisor.stats()
         assert stats["counters"]["pings_missed"] >= 2
         assert stats["counters"]["worker_deaths"] >= 1
@@ -289,7 +291,7 @@ class TestCrashRedispatch:
                     assert reply["ok"] is True
                     np.testing.assert_allclose(reply["embedding"],
                                                model.embed(source),
-                                               atol=1e-8)
+                                               atol=backend_tolerance(1e-8))
                 stats = server.supervisor.stats()
                 assert stats["counters"]["worker_deaths"] == 1
                 assert stats["counters"]["redispatched"] >= 1
@@ -311,7 +313,7 @@ class TestCrashRedispatch:
                 assert reply["ok"] is True
                 np.testing.assert_allclose(reply["embedding"],
                                            model.embed(shard0[3]),
-                                           atol=1e-8)
+                                           atol=backend_tolerance(1e-8))
                 after = {w["shard"]: w["dispatched"]
                          for w in server.supervisor.stats()["workers"]}
         # the restarted worker took its own shard's traffic again
@@ -333,7 +335,7 @@ class TestCrashRedispatch:
                                        timeout=30)
                 assert reply["ok"] is True
                 np.testing.assert_allclose(reply["embedding"],
-                                           model.embed(source), atol=1e-8)
+                                           model.embed(source), atol=backend_tolerance(1e-8))
             stats = server.supervisor.stats()
         assert stats["counters"]["worker_deaths"] == 1
         assert stats["counters"]["parked"] >= 1
@@ -362,7 +364,7 @@ class TestHotSwap:
                     return np.asarray(reply["embedding"])
 
                 np.testing.assert_allclose(served_embedding(),
-                                           model.embed(source), atol=1e-8)
+                                           model.embed(source), atol=backend_tolerance(1e-8))
 
                 # 1. corrupt checkpoint: rejected before any rotation
                 reply = client.request({"op": "swap",
@@ -371,7 +373,7 @@ class TestHotSwap:
                 assert reply["code"] == "swap_rejected"
                 assert reply["current"]["sha"] == sha_v1
                 np.testing.assert_allclose(served_embedding(),
-                                           model.embed(source), atol=1e-8)
+                                           model.embed(source), atol=backend_tolerance(1e-8))
 
                 # 2. real swap: the pool now answers with the new model
                 reply = client.request({"op": "swap",
@@ -380,7 +382,7 @@ class TestHotSwap:
                 assert reply["old"]["sha"] == sha_v1
                 assert reply["new"]["sha"] == sha_v2
                 np.testing.assert_allclose(served_embedding(),
-                                           model_b.embed(source), atol=1e-8)
+                                           model_b.embed(source), atol=backend_tolerance(1e-8))
                 wait_until(lambda: not server.supervisor.stats()["draining"],
                            message="old worker drain")
 
@@ -389,7 +391,7 @@ class TestHotSwap:
                                         "model": str(slot)}, timeout=60)
                 assert reply["ok"] is True
                 np.testing.assert_allclose(served_embedding(),
-                                           model.embed(source), atol=1e-8)
+                                           model.embed(source), atol=backend_tolerance(1e-8))
 
                 # 4. watcher: an atomic overwrite of the checkpoint slot
                 # (exactly what engine save_state does) is picked up and
@@ -401,7 +403,7 @@ class TestHotSwap:
                     lambda: server.supervisor.stats()["checkpoint"]["sha"]
                     == sha_v2, message="watcher swap")
                 np.testing.assert_allclose(served_embedding(),
-                                           model_b.embed(source), atol=1e-8)
+                                           model_b.embed(source), atol=backend_tolerance(1e-8))
             stats = server.supervisor.stats()
         assert stats["counters"]["swaps"] == 3
         assert stats["counters"]["swap_rejected"] == 1
@@ -563,10 +565,10 @@ class TestChaos:
             assert reply["ok"] is True, reply
             if kind == "embed":
                 np.testing.assert_allclose(reply["embedding"],
-                                           reference[key], atol=1e-8)
+                                           reference[key], atol=backend_tolerance(1e-8))
             else:
                 assert reply["p_first_slower"] == pytest.approx(
-                    compare_ref[key], abs=1e-8)
+                    compare_ref[key], abs=backend_tolerance(1e-8))
         assert stats["counters"]["worker_deaths"] >= 1
         assert stats["counters"]["swap_rejected"] == 1
         assert stats["counters"]["swaps"] == 1

@@ -20,6 +20,8 @@ from repro.serve.protocol import (
     error_reply, handle_request, request_sources, serve_lines,
 )
 
+from ..helpers import backend_tolerance
+
 from .test_service_e2e import variants
 
 
@@ -102,7 +104,7 @@ class TestHandleRequest:
         assert response["ok"] is True
         got = np.asarray(response["embeddings"])
         for row, source in zip(got, sources):
-            np.testing.assert_allclose(row, model.embed(source), atol=1e-8)
+            np.testing.assert_allclose(row, model.embed(source), atol=backend_tolerance(1e-8))
 
 
 class TestServeLinesMixedStream:
@@ -136,7 +138,7 @@ class TestServeLinesMixedStream:
         assert replies[3]["code"] == ERR_BAD_JSON
         assert replies[5]["code"] == ERR_BAD_REQUEST
         np.testing.assert_allclose(replies[0]["embedding"],
-                                   model.embed(good[0]), atol=1e-8)
+                                   model.embed(good[0]), atol=backend_tolerance(1e-8))
         assert replies[4]["p_first_slower"] == pytest.approx(
             model.predict_probability(good[0], good[1]), abs=1e-8)
 

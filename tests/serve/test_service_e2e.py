@@ -22,6 +22,8 @@ from repro.cli import main
 from repro.core import build_model
 from repro.serve import PredictionService, save_checkpoint
 
+from ..helpers import backend_tolerance
+
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 BASE = """
@@ -72,10 +74,10 @@ class TestMixedRequestStream:
         for req, got in zip(requests, answers):
             if req[0] == "embed":
                 np.testing.assert_allclose(got, model.embed(req[1]),
-                                           atol=1e-8)
+                                           atol=backend_tolerance(1e-8))
             else:
                 assert got == pytest.approx(
-                    model.predict_probability(req[1], req[2]), abs=1e-8)
+                    model.predict_probability(req[1], req[2]), abs=backend_tolerance(1e-8))
         # and the work was genuinely coalesced + cached
         assert stats["requests"]["total"] == 36
         assert stats["encoder"]["trees_encoded"] == 12     # distinct trees
@@ -101,7 +103,7 @@ class TestMixedRequestStream:
             stats = svc.stats()
         for i, source in enumerate(sources):
             np.testing.assert_allclose(results[i], model.embed(source),
-                                       atol=1e-8)
+                                       atol=backend_tolerance(1e-8))
         assert stats["batcher"]["batches"] < 16  # coalesced across threads
 
     def test_rank_matches_pairwise_compares(self, model):
@@ -114,7 +116,7 @@ class TestMixedRequestStream:
                 probs = [model.predict_probability(sources[i], s)
                          for j, s in enumerate(sources) if j != i]
                 assert entry["score"] == pytest.approx(
-                    float(np.mean(probs)), abs=1e-8)
+                    float(np.mean(probs)), abs=backend_tolerance(1e-8))
         order = [e["candidate"] for e in ranking]
         assert sorted(order) == [0, 1, 2, 3]
 
@@ -234,9 +236,9 @@ class TestServeCli:
         assert len(responses) == len(requests)
         for i, s in enumerate(sources):
             np.testing.assert_allclose(responses[i]["embedding"],
-                                       model.embed(s), atol=1e-8)
+                                       model.embed(s), atol=backend_tolerance(1e-8))
         assert responses[90]["p_first_slower"] == pytest.approx(
-            model.predict_probability(sources[0], sources[1]), abs=1e-8)
+            model.predict_probability(sources[0], sources[1]), abs=backend_tolerance(1e-8))
         assert responses[91]["flagged"] is False  # threshold 0.9
         assert [e["candidate"] for e in responses[92]["ranking"]]
         assert responses[93]["ok"] is False
@@ -295,8 +297,8 @@ class TestServeCli:
         assert len(out) == 4
         assert out[0]["ok"] is True
         np.testing.assert_allclose(out[0]["embedding"],
-                                   model.embed(sources[0]), atol=1e-8)
+                                   model.embed(sources[0]), atol=backend_tolerance(1e-8))
         assert out[1]["ok"] is False and "bad JSON" in out[1]["error"]
         assert out[2]["p_first_slower"] == pytest.approx(
-            model.predict_probability(sources[0], sources[1]), abs=1e-8)
+            model.predict_probability(sources[0], sources[1]), abs=backend_tolerance(1e-8))
         assert out[3]["ok"] is False and "unknown op" in out[3]["error"]

@@ -12,6 +12,8 @@ import pytest
 from repro.core import build_model
 from repro.serve import PredictionService, RequestSourceError
 
+from ..helpers import backend_tolerance
+
 from .test_service_e2e import variants
 
 
@@ -37,7 +39,7 @@ class TestEmbedMany:
         out = service.embed_many(s for s in sources)
         assert out.shape == (2, model.encoder.output_size)
         for row, source in zip(out, sources):
-            np.testing.assert_allclose(row, model.embed(source), atol=1e-8)
+            np.testing.assert_allclose(row, model.embed(source), atol=backend_tolerance(1e-8))
 
     def test_unparseable_source_raises_naming_its_index(self, service):
         good = variants(2)
@@ -61,7 +63,7 @@ class TestEmbedMany:
         with pytest.raises(RequestSourceError):
             service.embed_many([source, "garbage(("])
         np.testing.assert_allclose(service.embed(source),
-                                   model.embed(source), atol=1e-8)
+                                   model.embed(source), atol=backend_tolerance(1e-8))
 
 
 class TestRankEdges:

@@ -1,0 +1,95 @@
+"""Unit tests for the cross-PR perf-trend gate
+(:mod:`benchmarks.trend_check`)."""
+
+import json
+
+import pytest
+
+from benchmarks.trend_check import check_drift, load_series, main
+
+
+def _artifact(tmp_path, pr, means: dict):
+    payload = {"benchmarks": [{"name": name, "stats": {"mean": mean}}
+                              for name, mean in means.items()]}
+    (tmp_path / f"BENCH_PR{pr}.json").write_text(json.dumps(payload))
+
+
+class TestLoadSeries:
+    def test_series_sorted_by_pr(self, tmp_path):
+        _artifact(tmp_path, 3, {"a": 0.3})
+        _artifact(tmp_path, 1, {"a": 0.1})
+        _artifact(tmp_path, 2, {"a": 0.2})
+        series = load_series(tmp_path)
+        assert series == {"a": [(1, 0.1), (2, 0.2), (3, 0.3)]}
+
+    def test_non_benchmark_artifacts_skipped(self, tmp_path):
+        # The cluster load-test artifact shares the name pattern but
+        # not the schema; it must not crash or pollute the series.
+        (tmp_path / "BENCH_PR6.json").write_text(
+            json.dumps({"scenario": "chaos", "throughput_rps": 900.0}))
+        _artifact(tmp_path, 7, {"a": 0.1})
+        assert load_series(tmp_path) == {"a": [(7, 0.1)]}
+
+    def test_malformed_json_and_entries_tolerated(self, tmp_path):
+        (tmp_path / "BENCH_PR1.json").write_text("{not json")
+        (tmp_path / "BENCH_PR2.json").write_text(json.dumps(
+            {"benchmarks": [{"name": "a"}, {"stats": {"mean": 1.0}},
+                            {"name": "b", "stats": {"mean": 0.5}}]}))
+        assert load_series(tmp_path) == {"b": [(2, 0.5)]}
+
+
+class TestCheckDrift:
+    def _series(self, *means, name="step"):
+        return {name: [(i + 1, m) for i, m in enumerate(means)]}
+
+    def test_flat_history_inside_floor_is_quiet(self):
+        # 10% jitter on a flat series stays inside the 25% floor.
+        assert check_drift(self._series(0.10, 0.10, 0.10, 0.11)) == []
+
+    def test_regression_outside_band_is_flagged(self):
+        findings = check_drift(self._series(0.10, 0.10, 0.10, 0.20))
+        assert len(findings) == 1
+        assert findings[0]["kind"] == "regression"
+        assert findings[0]["pr"] == 4
+        assert findings[0]["ratio"] == pytest.approx(2.0)
+
+    def test_improvement_reported_not_regression(self):
+        findings = check_drift(self._series(0.10, 0.10, 0.10, 0.05))
+        assert [f["kind"] for f in findings] == ["improvement"]
+
+    def test_short_history_not_judged(self):
+        assert check_drift(self._series(0.1, 0.9)) == []
+        assert check_drift(self._series(0.1, 0.1, 0.9)) == []
+
+    def test_mad_widens_band_for_noisy_history(self):
+        # History swings 0.1..0.2, so 0.24 is within 4 scaled MADs of
+        # the median — noisy benchmarks need a bigger jump to flag.
+        noisy = self._series(0.10, 0.20, 0.14, 0.20, 0.10, 0.24)
+        assert check_drift(noisy) == []
+
+
+class TestMain:
+    def test_strict_exit_code(self, tmp_path):
+        for pr, mean in enumerate([0.1, 0.1, 0.1, 0.3], start=1):
+            _artifact(tmp_path, pr, {"step": mean})
+        assert main(["--root", str(tmp_path)]) == 0
+        assert main(["--root", str(tmp_path), "--strict"]) == 1
+
+    def test_strict_passes_when_clean(self, tmp_path, capsys):
+        for pr, mean in enumerate([0.1, 0.1, 0.1, 0.1], start=1):
+            _artifact(tmp_path, pr, {"step": mean})
+        assert main(["--root", str(tmp_path), "--strict"]) == 0
+        assert "inside their noise bands" in capsys.readouterr().out
+
+    def test_improvement_does_not_fail_strict(self, tmp_path):
+        for pr, mean in enumerate([0.1, 0.1, 0.1, 0.02], start=1):
+            _artifact(tmp_path, pr, {"step": mean})
+        assert main(["--root", str(tmp_path), "--strict"]) == 0
+
+    def test_json_output(self, tmp_path, capsys):
+        for pr, mean in enumerate([0.1, 0.1, 0.1, 0.3], start=1):
+            _artifact(tmp_path, pr, {"step": mean})
+        assert main(["--root", str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["benchmarks_tracked"] == 1
+        assert payload["findings"][0]["name"] == "step"
