@@ -15,9 +15,14 @@ so a perfectly flat history doesn't flag 1% jitter. Regressions
 (latest above the band) are warnings; improvements below the band are
 reported as informational only.
 
-Artifacts that are not pytest-benchmark payloads (e.g. the cluster
-load-test JSON) are skipped. Exit code is 0 unless ``--strict`` is
-given and at least one regression was flagged::
+Two artifact schemas feed the series: pytest-benchmark payloads (a
+``benchmarks`` list of ``{name, stats.mean}``) and the cluster
+chaos-load artifact (``scenario: "cluster_chaos_load"``), whose
+throughput folds in as a synthetic ``cluster_chaos_load::s_per_request``
+benchmark — seconds per answered request, so "latest above the band"
+still reads as a regression. Unrecognized artifacts are skipped. Exit
+code is 0 unless ``--strict`` is given and at least one regression was
+flagged::
 
     python benchmarks/trend_check.py             # report only
     python benchmarks/trend_check.py --strict    # CI gate
@@ -34,14 +39,45 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 _ARTIFACT = re.compile(r"BENCH_PR(\d+)\.json$")
 
-__all__ = ["load_series", "check_drift", "main"]
+__all__ = ["load_series", "check_drift", "chaos_points", "main"]
+
+#: synthetic benchmark name for the chaos-load artifact's throughput
+CHAOS_BENCH = "cluster_chaos_load::s_per_request"
+
+
+def chaos_points(payload: dict) -> dict[str, float]:
+    """``name -> mean_seconds`` extracted from a chaos-load artifact.
+
+    The artifact records aggregate throughput, not per-call stats;
+    seconds-per-answered-request is the mean-time equivalent (bigger is
+    slower, same as every other series). Prefers the direct
+    ``wall_s / answered`` quotient and falls back to ``1 /
+    throughput_rps`` for artifacts that only carry the rate.
+    """
+    if payload.get("scenario") != "cluster_chaos_load":
+        return {}
+    try:
+        answered = float(payload["answered"])
+        wall = float(payload["wall_s"])
+        if answered > 0 and wall > 0:
+            return {CHAOS_BENCH: wall / answered}
+    except (KeyError, TypeError, ValueError):
+        pass
+    try:
+        rate = float(payload["throughput_rps"])
+        if rate > 0:
+            return {CHAOS_BENCH: 1.0 / rate}
+    except (KeyError, TypeError, ValueError):
+        pass
+    return {}
 
 
 def load_series(root: Path) -> dict[str, list[tuple[int, float]]]:
     """``benchmark name -> [(pr, mean_seconds), ...]`` sorted by PR.
 
-    Reads every ``BENCH_PR<n>.json`` under ``root``; files without a
-    pytest-benchmark ``benchmarks`` list are ignored.
+    Reads every ``BENCH_PR<n>.json`` under ``root``: pytest-benchmark
+    payloads contribute their per-benchmark means, chaos-load payloads
+    contribute :data:`CHAOS_BENCH`; anything else is ignored.
     """
     series: dict[str, list[tuple[int, float]]] = {}
     for path in sorted(Path(root).glob("BENCH_PR*.json")):
@@ -53,9 +89,13 @@ def load_series(root: Path) -> dict[str, list[tuple[int, float]]]:
             payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
             continue
+        if not isinstance(payload, dict):
+            continue
+        for name, mean in chaos_points(payload).items():
+            series.setdefault(name, []).append((pr, mean))
         benches = payload.get("benchmarks")
         if not isinstance(benches, list):
-            continue                       # e.g. the cluster-load artifact
+            continue
         for bench in benches:
             try:
                 name = bench["name"]

@@ -80,10 +80,35 @@ def build_parser() -> argparse.ArgumentParser:
     collect.add_argument("--per-problem", type=int, default=24)
     collect.add_argument("--scale", type=float, default=0.4)
     collect.add_argument("--seed", type=int, default=1278)
+    collect.add_argument("--lint", action="store_true",
+                         help="run the static-analysis lint gate on every "
+                              "generated solution (strict: a finding not "
+                              "covered by the baseline aborts collection)")
     collect.add_argument("--out", required=True)
 
     stats = sub.add_parser("stats", help="Table-I statistics of a corpus")
     stats.add_argument("--db", required=True)
+
+    lint = sub.add_parser(
+        "lint-corpus",
+        help="CFG/dataflow lint over generated (or stored) programs")
+    lint.add_argument("--tags", nargs="+", default=None,
+                      help="Table-I tags (A-I) and/or 'MP' "
+                           "(default: all of them)")
+    lint.add_argument("--per-problem", type=int, default=12,
+                      help="generated samples per problem family")
+    lint.add_argument("--scale", type=float, default=0.4)
+    lint.add_argument("--seed", type=int, default=1278)
+    lint.add_argument("--db", default=None,
+                      help="lint the submissions of an existing corpus "
+                           "file instead of generating programs")
+    lint.add_argument("--baseline", default=None,
+                      help="suppression file (default: the bundled "
+                           "corpus baseline)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="report every finding, ignoring suppressions")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable report on stdout")
 
     backend_help = ("kernel backend: numpy64 (default), numpy32 "
                     "(float32 end-to-end), numba (JIT kernels, if "
@@ -189,19 +214,88 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_collect(args) -> int:
+def _default_lint_baseline():
+    from .lang.analysis import LintBaseline
+
+    path = Path(__file__).parent / "corpus" / "lint_baseline.json"
+    return LintBaseline.load(path)
+
+
+def _families_for(tags, scale):
     families = []
-    for tag in args.tags:
+    for tag in tags:
         if tag.upper() == "MP":
-            families.extend(mp_families(count=10, scale=args.scale))
+            families.extend(mp_families(count=10, scale=scale))
         else:
-            families.append(family_for_tag(tag.upper(), scale=args.scale))
-    db = Collector(seed=args.seed).collect(families,
-                                           per_problem=args.per_problem)
+            families.append(family_for_tag(tag.upper(), scale=scale))
+    return families
+
+
+def _cmd_collect(args) -> int:
+    families = _families_for(args.tags, args.scale)
+    collector = Collector(
+        seed=args.seed, lint=args.lint,
+        lint_baseline=_default_lint_baseline() if args.lint else None)
+    db = collector.collect(families, per_problem=args.per_problem)
     db.save(args.out)
+    linted = " (lint gate on)" if args.lint else ""
     print(f"collected {len(db)} accepted submissions across "
-          f"{len(db.problems())} problems -> {args.out}")
+          f"{len(db.problems())} problems -> {args.out}{linted}")
     return 0
+
+
+def _cmd_lint_corpus(args) -> int:
+    import numpy as np
+
+    from .corpus.styles import Style
+    from .lang.analysis import LintBaseline, lint_source
+    from .corpus.registry import TABLE1_TAGS
+
+    if args.no_baseline:
+        baseline = None
+    elif args.baseline:
+        baseline = LintBaseline.load(args.baseline)
+    else:
+        baseline = _default_lint_baseline()
+
+    findings = []
+    programs = 0
+    if args.db:
+        db = SubmissionDatabase.load(args.db)
+        for tag in db.problems():
+            for submission in db.submissions(tag):
+                programs += 1
+                context = f"{submission.problem_tag}/{submission.variant}"
+                findings.extend(lint_source(submission.source,
+                                            context=context))
+    else:
+        tags = args.tags or list(TABLE1_TAGS) + ["MP"]
+        for family in _families_for(tags, args.scale):
+            seed = (args.seed * 1_000_003
+                    + sum(ord(c) for c in family.tag)) % (2 ** 63)
+            rng = np.random.default_rng(seed)
+            for _ in range(args.per_problem):
+                solution = family.emit_solution(rng, Style(rng))
+                programs += 1
+                context = f"{family.tag}/{solution.variant}"
+                findings.extend(lint_source(solution.source,
+                                            context=context))
+
+    suppressed = []
+    if baseline is not None:
+        findings, suppressed = baseline.split(findings)
+    if args.json:
+        print(json.dumps({
+            "programs": programs,
+            "unsuppressed": [f.to_dict() for f in findings],
+            "suppressed": [f.to_dict() for f in suppressed]}, indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(f"lint-corpus: {programs} programs, "
+              f"{len(findings)} unsuppressed finding(s), "
+              f"{len(suppressed)} suppressed")
+    return 1 if findings else 0
 
 
 def _cmd_stats(args) -> int:
@@ -469,6 +563,7 @@ def _cmd_serve(args) -> int:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"collect": _cmd_collect, "stats": _cmd_stats,
+                "lint-corpus": _cmd_lint_corpus,
                 "train": _cmd_train, "predict": _cmd_predict,
                 "serve": _cmd_serve}
     return handlers[args.command](args)

@@ -28,6 +28,8 @@ class CollectionReport:
     accepted: int = 0
     rejected: int = 0
     verdict_counts: dict = field(default_factory=dict)
+    lint_findings: int = 0
+    lint_suppressed: int = 0
 
     def note(self, verdict: Verdict) -> None:
         name = verdict.value
@@ -42,13 +44,40 @@ class Collector:
     """Builds a :class:`SubmissionDatabase` from problem families."""
 
     def __init__(self, machine: MachineProfile | None = None,
-                 seed: int = 1278, strict: bool = True):
+                 seed: int = 1278, strict: bool = True,
+                 lint: bool = False, lint_baseline=None):
         self.machine = machine or MachineProfile(cycles_per_ms=2000.0)
         self.seed = seed
         #: In strict mode a rejected generated solution is a bug in the
         #: generator and raises; in lenient mode it is skipped (the
         #: paper's tool simply drops incorrect submissions).
         self.strict = strict
+        #: With ``lint=True`` every generated solution runs through the
+        #: :mod:`repro.lang.analysis` lint gate before judging; an
+        #: unsuppressed finding is treated like a rejected submission
+        #: (raise in strict mode, skip in lenient).
+        self.lint = lint
+        self.lint_baseline = lint_baseline
+
+    def _lint_solution(self, family: ProblemFamily, solution,
+                       report: CollectionReport) -> bool:
+        """True when the solution passes the lint gate."""
+        from ..lang.analysis import lint_source
+
+        context = f"{family.tag}/{solution.variant}"
+        findings = lint_source(solution.source, context=context)
+        if self.lint_baseline is not None:
+            findings, suppressed = self.lint_baseline.split(findings)
+            report.lint_suppressed += len(suppressed)
+        if not findings:
+            return True
+        report.lint_findings += len(findings)
+        if self.strict:
+            rendered = "\n".join(f.render() for f in findings)
+            raise RuntimeError(
+                f"generator lint failure for {context}:\n{rendered}"
+                f"\n--- source ---\n{solution.source}")
+        return False
 
     def collect(self, families: list[ProblemFamily], per_problem: int,
                 database: SubmissionDatabase | None = None,
@@ -73,6 +102,9 @@ class Collector:
                     raise RuntimeError(
                         f"problem {family.tag}: too many rejected solutions")
                 solution = family.generate(rng)
+                if self.lint and not self._lint_solution(family, solution,
+                                                         report):
+                    continue
                 judge_report = judge.judge_source(solution.source, spec.tests)
                 report.note(judge_report.verdict)
                 if judge_report.verdict is not Verdict.OK:

@@ -9,6 +9,7 @@ noisy quantized millisecond measurement via
 """
 
 from .cost import CostModel
+from .differential import DifferentialReport, differential_check, seeded_inputs
 from .errors import InputExhausted, JudgeError, RuntimeFault, TimeLimitExceeded
 from .interp import ExecutionResult, Interpreter
 from .machine import MachineProfile
@@ -19,4 +20,5 @@ __all__ = [
     "Interpreter", "ExecutionResult",
     "Judge", "JudgeReport", "TestCase", "Verdict",
     "JudgeError", "RuntimeFault", "TimeLimitExceeded", "InputExhausted",
+    "DifferentialReport", "differential_check", "seeded_inputs",
 ]

@@ -1,0 +1,58 @@
+"""Static analysis over the corpus language.
+
+The corpus is *generated*, so every structural defect in a program —
+a dead store, an unreachable branch, a read of an uninitialized name —
+is a generator bug that would flow silently into training data. This
+package turns those from "hoped absent" into "statically checked":
+
+* :mod:`.cfg` — per-function control-flow graphs over
+  :mod:`repro.lang.cpp_ast` (basic blocks, typed branch/loop edges,
+  per-statement def/use facts).
+* :mod:`.dataflow` — a generic worklist solver plus the concrete
+  analyses: reaching definitions, use-def chains, liveness, conditional
+  constant propagation, unreachable-code detection.
+* :mod:`.lint` — :class:`ProgramLint` rule engine + the machine-readable
+  suppression baseline behind ``repro lint-corpus``.
+* :mod:`.mutate` — provably-dead mutation generation: dead-code-insertion
+  mutants that are *guaranteed* dead by liveness/reachability proof and
+  cross-validated by judge differential execution.
+* :mod:`.verify` — α-invariant def-use signatures proving that
+  ``lang.simplify`` and ``corpus.styles`` surface transforms preserve
+  def-use structure.
+"""
+
+from .cfg import (
+    BUILTIN_IDENTS, BasicBlock, EDGE_KINDS, FunctionCFG, ProgramCFG,
+    Statement, build_cfg, build_program_cfg,
+)
+from .dataflow import (
+    ConstResult, DataflowProblem, DefSite, ENTRY_SID, UNKNOWN,
+    constant_propagation, fold_expr, liveness, reaching_definitions,
+    solve, unreachable_statements, use_def_chains,
+)
+from .lint import (
+    Finding, LintBaseline, ProgramLint, RULES, lint_source, lint_unit,
+)
+from .mutate import (
+    DeadMutant, InsertionPoint, MUTATION_KINDS, MutationProofError,
+    generate_dead_mutants, insertion_points, prove_dead,
+)
+from .verify import (
+    DefUseMismatch, defuse_signature, verify_same_defuse,
+    verify_simplify_preserves,
+)
+
+__all__ = [
+    "Statement", "BasicBlock", "FunctionCFG", "ProgramCFG",
+    "build_cfg", "build_program_cfg", "EDGE_KINDS", "BUILTIN_IDENTS",
+    "DataflowProblem", "DefSite", "ENTRY_SID", "UNKNOWN", "solve",
+    "reaching_definitions", "use_def_chains", "liveness",
+    "constant_propagation", "ConstResult", "unreachable_statements",
+    "fold_expr",
+    "Finding", "ProgramLint", "LintBaseline", "RULES",
+    "lint_source", "lint_unit",
+    "DeadMutant", "MutationProofError", "generate_dead_mutants",
+    "prove_dead", "insertion_points", "InsertionPoint", "MUTATION_KINDS",
+    "DefUseMismatch", "defuse_signature", "verify_same_defuse",
+    "verify_simplify_preserves",
+]

@@ -1,0 +1,478 @@
+"""Control-flow graphs over the C++-subset AST.
+
+One :class:`FunctionCFG` per :class:`~repro.lang.cpp_ast.FunctionDef`:
+statements become :class:`Statement` points grouped into
+:class:`BasicBlock`\\ s, connected by typed edges (``fall``, ``true``,
+``false``, ``back``, ``break``, ``continue``, ``return``). Loop
+conditions get their own header blocks so back edges are explicit, and
+code that follows a terminator (``return``/``break``/``continue``)
+lands in a predecessor-less block — structural unreachability falls
+out of plain graph reachability.
+
+The builder also records the lexical facts the dataflow clients need:
+which names each statement strongly defines (kills), weakly defines
+(mutates in place — a use *and* a def), declares, and reads. Those
+def/use sets are deliberately conservative: a ``v[i] = x`` store or a
+``v.push_back(x)`` call both *use and weakly define* ``v``, so
+liveness can never call a container dead while an element write is
+still coming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cpp_ast import (
+    Assign, Block, Break, Call, Continue, DoWhile, ExprStmt, For,
+    FunctionDef, Ident, If, Index, IoRead, IoWrite, Member, MethodCall,
+    Node, PostfixOp, Return, Root, TranslationUnit, UnaryOp, VarDecl,
+    While,
+)
+
+__all__ = ["Statement", "BasicBlock", "FunctionCFG", "ProgramCFG",
+           "build_cfg", "build_program_cfg", "EDGE_KINDS",
+           "BUILTIN_IDENTS"]
+
+EDGE_KINDS = ("fall", "true", "false", "back", "break", "continue",
+              "return")
+
+#: identifiers that parse as variables but are language builtins
+BUILTIN_IDENTS = frozenset({"endl"})
+
+#: container methods that mutate their receiver in place
+_MUTATING_METHODS = frozenset({
+    "push_back", "emplace_back", "pop_back", "clear", "resize", "insert",
+    "erase", "push", "pop", "assign", "sort", "reserve",
+})
+
+#: free functions whose lvalue/iterator arguments are mutated in place
+_MUTATING_BUILTINS = frozenset({"sort", "reverse", "swap", "getline"})
+
+#: type bases with indeterminate value when declared without initializer;
+#: everything else (vector, map, set, string, pair, ...) is a class type
+#: that default-constructs to a well-defined empty value
+_UNINIT_BASES = frozenset({"int", "long long", "bool", "double", "char",
+                           "float", "long", "unsigned", "size_t"})
+
+
+@dataclass
+class Statement:
+    """One atomic CFG point: a statement or a branch/loop condition."""
+
+    sid: int
+    node: Node
+    role: str                     # "stmt" | "cond"
+    block: "BasicBlock" = None    # type: ignore[assignment]
+    #: names strongly defined (the previous value is dead past here)
+    defs: frozenset[str] = frozenset()
+    #: names mutated in place (a use and a non-killing def)
+    weak_defs: frozenset[str] = frozenset()
+    #: names read
+    uses: frozenset[str] = frozenset()
+    #: names declared here, and the subset declared *without* initializer
+    decls: frozenset[str] = frozenset()
+    uninit_decls: frozenset[str] = frozenset()
+
+    def source(self) -> str:
+        """Single-line rendering, for findings and debugging."""
+        from ..printer import to_source
+
+        try:
+            text = to_source(self.node)
+        except Exception:
+            text = repr(self.node)
+        return " ".join(text.split())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Statement({self.sid}, {self.role}, {self.source()!r})"
+
+
+@dataclass
+class BasicBlock:
+    bid: int
+    statements: list[Statement] = field(default_factory=list)
+    succ: list[tuple["BasicBlock", str]] = field(default_factory=list)
+    pred: list[tuple["BasicBlock", str]] = field(default_factory=list)
+
+    def link(self, other: "BasicBlock", kind: str = "fall") -> None:
+        if kind not in EDGE_KINDS:
+            raise ValueError(f"unknown edge kind {kind!r}")
+        self.succ.append((other, kind))
+        other.pred.append((self, kind))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BasicBlock({self.bid}, {len(self.statements)} stmts)"
+
+
+class _DefUse:
+    """Accumulates def/use facts while walking one statement."""
+
+    def __init__(self, by_ref: dict[str, tuple[bool, ...]]):
+        self.by_ref = by_ref
+        self.defs: set[str] = set()
+        self.weak: set[str] = set()
+        self.uses: set[str] = set()
+        self.decls: set[str] = set()
+        self.uninit: set[str] = set()
+
+    def expr(self, node: Node | None) -> None:
+        if node is None:
+            return
+        if isinstance(node, Assign):
+            if isinstance(node.target, Ident):
+                name = node.target.name
+                if node.op != "=":
+                    self.uses.add(name)   # compound: read-modify-write
+                self.defs.add(name)
+            else:
+                base = _lvalue_base(node.target)
+                if base is not None:
+                    self.uses.add(base)   # element write reads the container
+                    self.weak.add(base)
+                for child in node.target.children():
+                    self.expr(child)
+            self.expr(node.value)
+            return
+        if isinstance(node, (UnaryOp, PostfixOp)) and node.op in ("++", "--"):
+            if isinstance(node.operand, Ident):
+                self.uses.add(node.operand.name)
+                self.defs.add(node.operand.name)
+            else:
+                base = _lvalue_base(node.operand)
+                if base is not None:
+                    self.uses.add(base)
+                    self.weak.add(base)
+                for child in node.operand.children():
+                    self.expr(child)
+            return
+        if isinstance(node, MethodCall):
+            self.expr(node.obj)
+            if node.method in _MUTATING_METHODS:
+                base = _lvalue_base(node.obj)
+                if base is not None:
+                    self.weak.add(base)
+            for arg in node.args:
+                self.expr(arg)
+            return
+        if isinstance(node, Call):
+            if node.name in _MUTATING_BUILTINS:
+                for target in _mutated_builtin_targets(node):
+                    self.uses.add(target)
+                    self.weak.add(target)
+            flags = self.by_ref.get(node.name, ())
+            for position, arg in enumerate(node.args):
+                if position < len(flags) and flags[position] \
+                        and isinstance(arg, Ident):
+                    self.uses.add(arg.name)
+                    self.weak.add(arg.name)   # callee may read and write it
+                else:
+                    self.expr(arg)
+            return
+        if isinstance(node, Ident):
+            if node.name not in BUILTIN_IDENTS:
+                self.uses.add(node.name)
+            return
+        for child in node.children():
+            self.expr(child)
+
+    def stmt(self, node: Node) -> None:
+        if isinstance(node, VarDecl):
+            for declarator in node.declarators:
+                self.decls.add(declarator.name)
+                for size in declarator.array_sizes:
+                    self.expr(size)
+                if declarator.init is not None:
+                    self.expr(declarator.init)
+                    self.defs.add(declarator.name)
+                elif declarator.array_sizes:
+                    # fixed arrays in this corpus are zero-filled scratch
+                    self.defs.add(declarator.name)
+                else:
+                    self.defs.add(declarator.name)
+                    if (not node.type.args
+                            and node.type.base in _UNINIT_BASES):
+                        # scalars hold garbage until assigned; class
+                        # types default-construct to empty
+                        self.uninit.add(declarator.name)
+        elif isinstance(node, ExprStmt):
+            self.expr(node.expr)
+        elif isinstance(node, IoRead):
+            for target in node.targets:
+                if isinstance(target, Ident):
+                    self.defs.add(target.name)
+                else:
+                    base = _lvalue_base(target)
+                    if base is not None:
+                        self.uses.add(base)
+                        self.weak.add(base)
+                    for child in target.children():
+                        self.expr(child)
+        elif isinstance(node, IoWrite):
+            for value in node.values:
+                self.expr(value)
+        elif isinstance(node, Return):
+            self.expr(node.value)
+        elif isinstance(node, (Break, Continue)):
+            pass
+        elif isinstance(node, (If, While, DoWhile, For, Block)):
+            raise TypeError(f"compound statement {type(node).__name__} is "
+                            "not an atomic CFG point")
+        else:
+            self.expr(node)
+
+
+class FunctionCFG:
+    """CFG plus the function's symbol facts."""
+
+    def __init__(self, function: FunctionDef,
+                 globals_: frozenset[str] = frozenset(),
+                 by_ref_params: dict[str, tuple[bool, ...]] | None = None):
+        self.function = function
+        self.name = function.name
+        self.globals = globals_
+        self._by_ref = by_ref_params or {}
+        self.blocks: list[BasicBlock] = []
+        self.statements: list[Statement] = []
+        self.params = frozenset(p.name for p in function.params)
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        tail = self._build_stmt(function.body, self.entry, [], [])
+        if tail is not None:
+            tail.link(self.exit, "fall")
+
+    # ------------------------------------------------------------------
+    def _new_block(self) -> BasicBlock:
+        block = BasicBlock(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def _add(self, block: BasicBlock, node: Node, role: str) -> Statement:
+        stmt = Statement(len(self.statements), node, role)
+        stmt.block = block
+        facts = _DefUse(self._by_ref)
+        if role == "cond":
+            facts.expr(node)     # `while (t--)` defines t — full extraction
+        else:
+            facts.stmt(node)
+        stmt.defs = frozenset(facts.defs)
+        stmt.weak_defs = frozenset(facts.weak)
+        stmt.uses = frozenset(facts.uses)
+        stmt.decls = frozenset(facts.decls)
+        stmt.uninit_decls = frozenset(facts.uninit)
+        self.statements.append(stmt)
+        block.statements.append(stmt)
+        return stmt
+
+    # ------------------------------------------------------------------
+    def _build_stmt(self, node: Node, current: BasicBlock,
+                    breaks: list, continues: list) -> BasicBlock | None:
+        """Append ``node`` to the CFG; returns the open fallthrough block
+        (``None`` when control cannot fall past this statement)."""
+        if isinstance(node, Block):
+            for child in node.statements:
+                if current is None:
+                    # code after a terminator: keep it in the graph
+                    # (predecessor-less) for the unreachable lint
+                    current = self._new_block()
+                current = self._build_stmt(child, current, breaks, continues)
+            return current
+        if isinstance(node, If):
+            self._add(current, node.cond, "cond")
+            then_head = self._new_block()
+            current.link(then_head, "true")
+            then_tail = self._build_stmt(node.then, then_head, breaks,
+                                         continues)
+            join = self._new_block()
+            if node.orelse is not None:
+                else_head = self._new_block()
+                current.link(else_head, "false")
+                else_tail = self._build_stmt(node.orelse, else_head,
+                                             breaks, continues)
+                if else_tail is not None:
+                    else_tail.link(join, "fall")
+            else:
+                current.link(join, "false")
+            if then_tail is not None:
+                then_tail.link(join, "fall")
+            return join
+        if isinstance(node, While):
+            header = self._new_block()
+            current.link(header, "fall")
+            self._add(header, node.cond, "cond")
+            body_head = self._new_block()
+            after = self._new_block()
+            header.link(body_head, "true")
+            header.link(after, "false")
+            my_breaks: list[BasicBlock] = []
+            my_continues: list[BasicBlock] = []
+            body_tail = self._build_stmt(node.body, body_head, my_breaks,
+                                         my_continues)
+            if body_tail is not None:
+                body_tail.link(header, "back")
+            for block in my_continues:
+                block.link(header, "continue")
+            for block in my_breaks:
+                block.link(after, "break")
+            return after
+        if isinstance(node, DoWhile):
+            body_head = self._new_block()
+            current.link(body_head, "fall")
+            my_breaks, my_continues = [], []
+            body_tail = self._build_stmt(node.body, body_head, my_breaks,
+                                         my_continues)
+            footer = self._new_block()
+            self._add(footer, node.cond, "cond")
+            if body_tail is not None:
+                body_tail.link(footer, "fall")
+            for block in my_continues:
+                block.link(footer, "continue")
+            after = self._new_block()
+            footer.link(body_head, "back")
+            footer.link(after, "false")
+            for block in my_breaks:
+                block.link(after, "break")
+            return after
+        if isinstance(node, For):
+            if node.init is not None:
+                current = self._build_stmt(node.init, current, breaks,
+                                           continues)
+            header = self._new_block()
+            current.link(header, "fall")
+            after = self._new_block()
+            body_head = self._new_block()
+            if node.cond is not None:
+                self._add(header, node.cond, "cond")
+                header.link(body_head, "true")
+                header.link(after, "false")
+            else:
+                header.link(body_head, "true")
+            my_breaks, my_continues = [], []
+            body_tail = self._build_stmt(node.body, body_head, my_breaks,
+                                         my_continues)
+            step = self._new_block()
+            if node.step is not None:
+                self._add(step, ExprStmt(expr=node.step), "stmt")
+            if body_tail is not None:
+                body_tail.link(step, "fall")
+            for block in my_continues:
+                block.link(step, "continue")
+            step.link(header, "back")
+            for block in my_breaks:
+                block.link(after, "break")
+            return after
+        # atomic statements
+        self._add(current, node, "stmt")
+        if isinstance(node, Return):
+            current.link(self.exit, "return")
+            return None
+        if isinstance(node, Break):
+            breaks.append(current)
+            return None
+        if isinstance(node, Continue):
+            continues.append(current)
+            return None
+        return current
+
+    # ------------------------------------------------------------------
+    def reachable_blocks(self) -> set[int]:
+        """Block ids reachable from entry (structural reachability)."""
+        seen: set[int] = set()
+        stack = [self.entry]
+        while stack:
+            block = stack.pop()
+            if block.bid in seen:
+                continue
+            seen.add(block.bid)
+            stack.extend(succ for succ, _ in block.succ)
+        return seen
+
+    def declared_names(self) -> set[str]:
+        names: set[str] = set()
+        for stmt in self.statements:
+            names |= stmt.decls
+        return names
+
+    def rpo(self) -> list[BasicBlock]:
+        """Reverse post-order over blocks (good order for forward passes);
+        unreachable blocks are appended after the reachable component."""
+        seen: set[int] = set()
+        order: list[BasicBlock] = []
+
+        def visit(root: BasicBlock) -> None:
+            stack: list[tuple[BasicBlock, int]] = [(root, 0)]
+            seen.add(root.bid)
+            while stack:
+                block, idx = stack[-1]
+                if idx < len(block.succ):
+                    stack[-1] = (block, idx + 1)
+                    succ = block.succ[idx][0]
+                    if succ.bid not in seen:
+                        seen.add(succ.bid)
+                        stack.append((succ, 0))
+                else:
+                    order.append(block)
+                    stack.pop()
+
+        visit(self.entry)
+        for block in self.blocks:
+            if block.bid not in seen:
+                visit(block)
+        return list(reversed(order))
+
+
+class ProgramCFG:
+    """Per-function CFGs plus the translation unit's shared facts."""
+
+    def __init__(self, unit: TranslationUnit | Root):
+        self.unit = unit
+        functions = [f for f in unit.functions
+                     if isinstance(f, FunctionDef) and f.body is not None]
+        global_names: set[str] = set()
+        if isinstance(unit, TranslationUnit):
+            for decl in unit.globals:
+                for declarator in decl.declarators:
+                    global_names.add(declarator.name)
+        self.globals = frozenset(global_names)
+        by_ref = {f.name: tuple(p.by_ref for p in f.params)
+                  for f in functions}
+        self.functions = {
+            f.name: FunctionCFG(f, self.globals, by_ref) for f in functions
+        }
+
+    def __iter__(self):
+        return iter(self.functions.values())
+
+
+def build_cfg(function: FunctionDef,
+              globals_: frozenset[str] = frozenset()) -> FunctionCFG:
+    return FunctionCFG(function, globals_)
+
+
+def build_program_cfg(unit: TranslationUnit | Root) -> ProgramCFG:
+    return ProgramCFG(unit)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+def _lvalue_base(node: Node) -> str | None:
+    """The variable ultimately written through an lvalue expression."""
+    while isinstance(node, (Index, Member)):
+        node = node.obj
+    if isinstance(node, Ident):
+        return node.name
+    return None
+
+
+def _mutated_builtin_targets(call: Call) -> set[str]:
+    """Variables a ``sort``/``reverse``/``swap`` call writes through."""
+    targets: set[str] = set()
+    for arg in call.args:
+        if isinstance(arg, MethodCall) and arg.method in (
+                "begin", "end", "rbegin", "rend"):
+            base = _lvalue_base(arg.obj)
+        else:
+            base = _lvalue_base(arg)
+        if base is not None:
+            targets.add(base)
+    return targets

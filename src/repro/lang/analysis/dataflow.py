@@ -1,0 +1,474 @@
+"""Worklist dataflow over :mod:`repro.lang.analysis.cfg`.
+
+A single generic solver (:class:`DataflowProblem` + :func:`solve`)
+instantiated as the concrete analyses the lint/mutation clients need:
+
+* :func:`reaching_definitions` — forward may-analysis over
+  :class:`DefSite` facts; weak defs *gen* without killing.
+* :func:`use_def_chains` — per-use reaching def sites.
+* :func:`liveness` — backward may-analysis; globals and by-ref params
+  are live at function exit (the caller can observe them).
+* :func:`constant_propagation` — conditional constant propagation:
+  constants flow only along feasible edges, so ``if (flag)`` with
+  ``flag = 0`` both folds the condition *and* proves the then-branch
+  unreachable.
+* :func:`unreachable_statements` — structural dead code (after a
+  terminator) plus branches pruned by constant conditions.
+
+All facts are keyed by ``Statement.sid``; "before"/"after" mean
+program order within the statement's block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..cpp_ast import (
+    Assign, BinaryOp, BoolLit, CharLit, Ident, IntLit, Node, PostfixOp,
+    Ternary, UnaryOp,
+)
+from .cfg import BUILTIN_IDENTS, BasicBlock, FunctionCFG, Statement
+
+__all__ = [
+    "DefSite", "ENTRY_SID", "DataflowProblem", "solve",
+    "reaching_definitions", "use_def_chains", "liveness",
+    "constant_propagation", "ConstResult", "unreachable_statements",
+    "fold_expr", "UNKNOWN",
+]
+
+#: pseudo statement id for definitions that exist on function entry
+ENTRY_SID = -1
+
+
+@dataclass(frozen=True)
+class DefSite:
+    """One definition event: statement ``sid`` defined ``name``.
+
+    ``kind`` is ``strong`` (kills prior defs), ``weak`` (in-place
+    mutation, does not kill), ``uninit`` (declaration without
+    initializer — reads through it are use-before-def), ``param`` or
+    ``global`` (entry facts).
+    """
+
+    sid: int
+    name: str
+    kind: str
+
+
+# ---------------------------------------------------------------------------
+# generic solver
+# ---------------------------------------------------------------------------
+@dataclass
+class DataflowProblem:
+    """A monotone set-union dataflow problem at statement granularity.
+
+    ``direction`` is ``"forward"`` or ``"backward"``; ``boundary`` is
+    the fact set at entry (forward) or exit (backward); ``transfer``
+    maps ``(statement, in_facts)`` to out facts. Join is set union.
+    """
+
+    direction: str
+    boundary: frozenset
+    transfer: Callable[[Statement, frozenset], frozenset]
+
+
+def solve(cfg: FunctionCFG, problem: DataflowProblem,
+          ) -> tuple[dict[int, frozenset], dict[int, frozenset]]:
+    """Run ``problem`` to fixpoint; returns ``(before, after)`` keyed by
+    statement sid, where "before" is the fact set flowing *into* the
+    statement in the analysis direction."""
+    forward = problem.direction == "forward"
+    if problem.direction not in ("forward", "backward"):
+        raise ValueError(f"unknown direction {problem.direction!r}")
+
+    from collections import deque
+
+    start = cfg.entry if forward else cfg.exit
+    block_in: dict[int, frozenset] = {}
+    block_out: dict[int, frozenset] = {}
+
+    def block_transfer(block: BasicBlock, facts: frozenset) -> frozenset:
+        stmts = block.statements if forward else reversed(block.statements)
+        for stmt in stmts:
+            facts = problem.transfer(stmt, facts)
+        return facts
+
+    order = cfg.rpo() if forward else list(reversed(cfg.rpo()))
+    worklist = deque(order)
+    queued = {b.bid for b in order}
+    while worklist:
+        block = worklist.popleft()
+        queued.discard(block.bid)
+        edges = block.pred if forward else block.succ
+        merged: set = set()
+        for neighbour, _kind in edges:
+            merged |= block_out.get(neighbour.bid, frozenset())
+        if block is start:
+            merged |= problem.boundary
+        facts = frozenset(merged)
+        block_in[block.bid] = facts
+        out = block_transfer(block, facts)
+        if block_out.get(block.bid) != out:
+            block_out[block.bid] = out
+            targets = block.succ if forward else block.pred
+            for target, _kind in targets:
+                if target.bid not in queued:
+                    queued.add(target.bid)
+                    worklist.append(target)
+
+    # materialise per-statement facts
+    before: dict[int, frozenset] = {}
+    after: dict[int, frozenset] = {}
+    for block in cfg.blocks:
+        facts = block_in.get(block.bid, frozenset())
+        stmts = block.statements if forward else list(
+            reversed(block.statements))
+        for stmt in stmts:
+            before[stmt.sid] = facts
+            facts = problem.transfer(stmt, facts)
+            after[stmt.sid] = facts
+    return before, after
+
+
+# ---------------------------------------------------------------------------
+# reaching definitions
+# ---------------------------------------------------------------------------
+def _reaching_transfer(stmt: Statement, facts: frozenset) -> frozenset:
+    out = set(facts)
+    if stmt.defs:
+        out = {d for d in out if d.name not in stmt.defs}
+        for name in stmt.defs:
+            kind = "uninit" if name in stmt.uninit_decls else "strong"
+            out.add(DefSite(stmt.sid, name, kind))
+    for name in stmt.weak_defs:
+        out.add(DefSite(stmt.sid, name, "weak"))
+    return frozenset(out)
+
+
+def reaching_definitions(cfg: FunctionCFG,
+                         ) -> tuple[dict[int, frozenset], dict[int, frozenset]]:
+    boundary = {DefSite(ENTRY_SID, p, "param") for p in cfg.params}
+    boundary |= {DefSite(ENTRY_SID, g, "global") for g in cfg.globals}
+    problem = DataflowProblem("forward", frozenset(boundary),
+                              _reaching_transfer)
+    return solve(cfg, problem)
+
+
+def use_def_chains(cfg: FunctionCFG,
+                   before: dict[int, frozenset] | None = None,
+                   ) -> dict[tuple[int, str], frozenset]:
+    """Map ``(use sid, name)`` to the def sites reaching that use."""
+    if before is None:
+        before, _ = reaching_definitions(cfg)
+    chains: dict[tuple[int, str], frozenset] = {}
+    for stmt in cfg.statements:
+        if not stmt.uses:
+            continue
+        reaching = before[stmt.sid]
+        for name in stmt.uses:
+            chains[(stmt.sid, name)] = frozenset(
+                d for d in reaching if d.name == name)
+    return chains
+
+
+# ---------------------------------------------------------------------------
+# liveness
+# ---------------------------------------------------------------------------
+def _live_transfer(stmt: Statement, facts: frozenset) -> frozenset:
+    out = set(facts)
+    out -= stmt.defs
+    out -= stmt.decls          # a declaration ends the previous binding
+    out |= stmt.uses
+    out |= stmt.weak_defs
+    return frozenset(out)
+
+
+def liveness(cfg: FunctionCFG,
+             ) -> tuple[dict[int, frozenset], dict[int, frozenset]]:
+    """Backward liveness; returns ``(live_out, live_in)`` per sid.
+
+    Globals and by-ref parameters are live at exit: the caller (or a
+    later call) can observe their final values.
+    """
+    by_ref = frozenset(p.name for p in cfg.function.params if p.by_ref)
+    boundary = frozenset(cfg.globals | by_ref)
+    problem = DataflowProblem("backward", boundary, _live_transfer)
+    live_out, live_in = solve(cfg, problem)
+    return live_out, live_in
+
+
+# ---------------------------------------------------------------------------
+# constant folding / propagation
+# ---------------------------------------------------------------------------
+class _Unknown:
+    def __repr__(self) -> str:
+        return "UNKNOWN"
+
+
+UNKNOWN = _Unknown()
+
+
+def _int_div(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _int_mod(a: int, b: int) -> int:
+    r = abs(a) % abs(b)
+    return r if a >= 0 else -r
+
+
+def fold_expr(node: Node | None, env: dict | None = None):
+    """Evaluate an integer/bool expression; ``UNKNOWN`` when it cannot
+    be proven constant. Mirrors the judge's C-style truncating division
+    so folded values match differential execution exactly."""
+    env = env or {}
+    if node is None:
+        return UNKNOWN
+    if isinstance(node, IntLit):
+        return int(node.value)
+    if isinstance(node, BoolLit):
+        return 1 if node.value else 0
+    if isinstance(node, CharLit):
+        return ord(node.value) if node.value else UNKNOWN
+    if isinstance(node, Ident):
+        if node.name in BUILTIN_IDENTS:
+            return UNKNOWN
+        return env.get(node.name, UNKNOWN)
+    if isinstance(node, UnaryOp):
+        if node.op in ("++", "--"):
+            return UNKNOWN
+        value = fold_expr(node.operand, env)
+        if value is UNKNOWN:
+            return UNKNOWN
+        if node.op == "-":
+            return -value
+        if node.op == "+":
+            return value
+        if node.op == "!":
+            return 0 if value else 1
+        if node.op == "~":
+            return ~value
+        return UNKNOWN
+    if isinstance(node, BinaryOp):
+        left = fold_expr(node.left, env)
+        if left is UNKNOWN:
+            # && / || still fold when the left side alone decides
+            return UNKNOWN
+        if node.op == "&&":
+            if not left:
+                return 0
+            right = fold_expr(node.right, env)
+            return UNKNOWN if right is UNKNOWN else (1 if right else 0)
+        if node.op == "||":
+            if left:
+                return 1
+            right = fold_expr(node.right, env)
+            return UNKNOWN if right is UNKNOWN else (1 if right else 0)
+        right = fold_expr(node.right, env)
+        if right is UNKNOWN:
+            return UNKNOWN
+        try:
+            if node.op == "+":
+                return left + right
+            if node.op == "-":
+                return left - right
+            if node.op == "*":
+                return left * right
+            if node.op == "/":
+                return UNKNOWN if right == 0 else _int_div(left, right)
+            if node.op == "%":
+                return UNKNOWN if right == 0 else _int_mod(left, right)
+            if node.op in ("<", ">", "<=", ">=", "==", "!="):
+                table = {"<": left < right, ">": left > right,
+                         "<=": left <= right, ">=": left >= right,
+                         "==": left == right, "!=": left != right}
+                return 1 if table[node.op] else 0
+            if node.op == "&":
+                return left & right
+            if node.op == "|":
+                return left | right
+            if node.op == "^":
+                return left ^ right
+            if node.op == "<<":
+                return left << right if 0 <= right < 64 else UNKNOWN
+            if node.op == ">>":
+                return left >> right if 0 <= right < 64 else UNKNOWN
+        except TypeError:
+            return UNKNOWN
+        return UNKNOWN
+    if isinstance(node, Ternary):
+        cond = fold_expr(node.cond, env)
+        if cond is UNKNOWN:
+            return UNKNOWN
+        return fold_expr(node.then if cond else node.orelse, env)
+    return UNKNOWN
+
+
+@dataclass
+class ConstResult:
+    """Outcome of conditional constant propagation for one function."""
+
+    #: sid → folded value for every condition proven constant
+    const_conds: dict[int, int]
+    #: sids of statements on no feasible path from entry
+    unreachable_sids: frozenset[int]
+    #: block bid → constant environment at block entry
+    env_in: dict[int, dict]
+
+
+def _const_transfer(stmt: Statement, env: dict) -> dict:
+    """Abstract execution of one statement over a constant environment."""
+    out = dict(env)
+    node = stmt.node
+    if stmt.role == "cond":
+        # conditions like `t--` mutate state: smash their defs
+        for name in stmt.defs | stmt.weak_defs:
+            out[name] = UNKNOWN
+        return out
+    from ..cpp_ast import ExprStmt, IoRead, VarDecl
+
+    if isinstance(node, VarDecl):
+        for declarator in node.declarators:
+            if declarator.array_sizes:
+                out[declarator.name] = UNKNOWN
+            elif declarator.init is not None:
+                out[declarator.name] = fold_expr(declarator.init, env)
+            else:
+                out[declarator.name] = 0    # locals default-init to zero
+        return out
+    if isinstance(node, IoRead):
+        for name in stmt.defs | stmt.weak_defs:
+            out[name] = UNKNOWN
+        return out
+    if isinstance(node, ExprStmt):
+        expr = node.expr
+        if isinstance(expr, Assign) and isinstance(expr.target, Ident):
+            name = expr.target.name
+            if expr.op == "=":
+                out[name] = fold_expr(expr.value, env)
+            else:
+                base = env.get(name, UNKNOWN)
+                rhs = fold_expr(expr.value, env)
+                out[name] = _fold_compound(expr.op, base, rhs)
+            # the RHS itself may contain ++/calls: smash their targets too
+            for other in (stmt.defs | stmt.weak_defs) - {name}:
+                out[other] = UNKNOWN
+            return out
+        if isinstance(expr, (UnaryOp, PostfixOp)) and expr.op in ("++", "--") \
+                and isinstance(expr.operand, Ident):
+            name = expr.operand.name
+            base = env.get(name, UNKNOWN)
+            if base is not UNKNOWN:
+                out[name] = base + (1 if expr.op == "++" else -1)
+            else:
+                out[name] = UNKNOWN
+            return out
+    for name in stmt.defs | stmt.weak_defs:
+        out[name] = UNKNOWN
+    return out
+
+
+def _fold_compound(op: str, base, rhs):
+    if base is UNKNOWN or rhs is UNKNOWN:
+        return UNKNOWN
+    table = {
+        "+=": lambda: base + rhs, "-=": lambda: base - rhs,
+        "*=": lambda: base * rhs,
+        "/=": lambda: UNKNOWN if rhs == 0 else _int_div(base, rhs),
+        "%=": lambda: UNKNOWN if rhs == 0 else _int_mod(base, rhs),
+        "&=": lambda: base & rhs, "|=": lambda: base | rhs,
+        "^=": lambda: base ^ rhs,
+        "<<=": lambda: base << rhs if 0 <= rhs < 64 else UNKNOWN,
+        ">>=": lambda: base >> rhs if 0 <= rhs < 64 else UNKNOWN,
+    }
+    fn = table.get(op)
+    return fn() if fn else UNKNOWN
+
+
+def _merge_env(a: dict | None, b: dict) -> tuple[dict, bool]:
+    """Join two constant environments; returns (merged, changed vs a).
+
+    A name missing from either side means "not constant on that path"
+    (e.g. a local declared in only one branch) and joins to UNKNOWN.
+    """
+    if a is None:
+        return dict(b), True
+    merged: dict = {}
+    for name in set(a) | set(b):
+        va = a.get(name, UNKNOWN)
+        vb = b.get(name, UNKNOWN)
+        merged[name] = va if (va is not UNKNOWN and vb is not UNKNOWN
+                              and va == vb) else UNKNOWN
+    return merged, merged != a
+
+
+def constant_propagation(cfg: FunctionCFG) -> ConstResult:
+    """Conditional constant propagation (SCCP-style over blocks)."""
+    env_in: dict[int, dict | None] = {b.bid: None for b in cfg.blocks}
+    entry_env = {g: UNKNOWN for g in cfg.globals}
+    entry_env.update({p: UNKNOWN for p in cfg.params})
+    env_in[cfg.entry.bid] = entry_env
+    const_conds: dict[int, int] = {}
+    worklist = [cfg.entry]
+    visited: set[int] = set()
+    guard = 0
+    limit = 50 * max(1, len(cfg.blocks)) * max(1, len(cfg.statements))
+    while worklist:
+        guard += 1
+        if guard > limit:       # safety valve; join is finite so this
+            break               # only trips on a solver bug
+        block = worklist.pop()
+        visited.add(block.bid)
+        env = dict(env_in[block.bid] or {})
+        cond_value = UNKNOWN
+        cond_sid = None
+        for stmt in block.statements:
+            if stmt.role == "cond":
+                cond_value = fold_expr(stmt.node, env)
+                cond_sid = stmt.sid
+            env = _const_transfer(stmt, env)
+        if cond_sid is not None:
+            if cond_value is not UNKNOWN:
+                const_conds[cond_sid] = cond_value
+            else:
+                const_conds.pop(cond_sid, None)
+        for succ, kind in block.succ:
+            if cond_sid is not None and cond_value is not UNKNOWN:
+                if kind == "true" and not cond_value:
+                    continue    # infeasible edge
+                if kind == "false" and cond_value:
+                    continue
+            merged, changed = _merge_env(env_in[succ.bid], env)
+            if changed or succ.bid not in visited:
+                env_in[succ.bid] = merged
+                worklist.append(succ)
+
+    unreachable: set[int] = set()
+    for block in cfg.blocks:
+        if block.bid not in visited and block is not cfg.exit:
+            unreachable.update(s.sid for s in block.statements)
+    return ConstResult(
+        const_conds=const_conds,
+        unreachable_sids=frozenset(unreachable),
+        env_in={bid: env for bid, env in env_in.items() if env is not None},
+    )
+
+
+# ---------------------------------------------------------------------------
+# unreachable code
+# ---------------------------------------------------------------------------
+def unreachable_statements(cfg: FunctionCFG,
+                           const: ConstResult | None = None,
+                           ) -> frozenset[int]:
+    """Statement sids that can never execute: structurally dead (after a
+    terminator) or only reachable through infeasible constant branches."""
+    if const is None:
+        const = constant_propagation(cfg)
+    structural: set[int] = set()
+    reachable = cfg.reachable_blocks()
+    for block in cfg.blocks:
+        if block.bid not in reachable:
+            structural.update(s.sid for s in block.statements)
+    return frozenset(structural | set(const.unreachable_sids))

@@ -1,0 +1,293 @@
+"""Lint rules over the CFG/dataflow analyses, with a suppression baseline.
+
+:class:`ProgramLint` runs five rules over every function of a program:
+
+``unused-variable``
+    A local is declared but no statement in the function ever reads it.
+``dead-store``
+    A side-effect-free assignment (or initialized declaration) whose
+    value can never be observed — the name is not live after the store.
+    ``cin >>`` targets are exempt: the read consumes input even when the
+    value is discarded, so removing it would change behaviour.
+``unreachable-statement``
+    No feasible path from function entry reaches the statement: either
+    it follows a terminator (``return``/``break``/``continue``) or it
+    sits behind a branch whose condition constant-folds the wrong way.
+``use-before-def``
+    Some path reaches a read of a local declared without an initializer
+    before anything assigns it.
+``constant-branch-condition``
+    A non-literal branch/loop condition that constant propagation proves
+    always-true or always-false (``while (true)``-style *literal*
+    conditions are idiomatic and exempt; the branches they kill are
+    still reported by ``unreachable-statement``).
+
+Findings are plain data (:class:`Finding`) so the CLI can render them as
+text or JSON. :class:`LintBaseline` is the machine-readable suppression
+file behind the ``repro lint-corpus`` CI gate: a finding that matches a
+baseline entry (rule + context glob + optional source substring, each
+entry carrying a documented reason) is *suppressed*, everything else
+gates the build.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+
+from ..cpp_ast import (
+    Assign, BoolLit, Call, Ident, IntLit, IoRead, Node, PostfixOp,
+    TranslationUnit, UnaryOp, VarDecl,
+)
+from .cfg import FunctionCFG, ProgramCFG
+from .dataflow import (
+    constant_propagation, liveness, reaching_definitions,
+    unreachable_statements, use_def_chains,
+)
+
+__all__ = ["Finding", "ProgramLint", "LintBaseline", "RULES",
+           "lint_unit", "lint_source"]
+
+RULES = ("unused-variable", "dead-store", "unreachable-statement",
+         "use-before-def", "constant-branch-condition")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint diagnostic, serializable for the CI gate."""
+
+    rule: str
+    function: str
+    sid: int
+    message: str
+    source: str
+    context: str = ""
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "function": self.function,
+                "sid": self.sid, "message": self.message,
+                "source": self.source, "context": self.context}
+
+    def render(self) -> str:
+        where = f"{self.context}::" if self.context else ""
+        return (f"[{self.rule}] {where}{self.function}@{self.sid}: "
+                f"{self.message}  |  {self.source}")
+
+
+def _has_side_effects(node: Node | None) -> bool:
+    """Whether evaluating ``node`` can be observed beyond its value.
+
+    Conservative: any call (user functions may do IO), any ``++``/``--``,
+    any nested assignment or stream read counts as an effect.
+    """
+    if node is None:
+        return False
+    if isinstance(node, (Call, Assign, IoRead)):
+        return True
+    if isinstance(node, (UnaryOp, PostfixOp)) and node.op in ("++", "--"):
+        return True
+    return any(_has_side_effects(child) for child in node.children())
+
+
+def _is_literal_condition(node: Node) -> bool:
+    """``while (true)`` / ``if (0)`` style conditions are deliberate."""
+    return isinstance(node, (BoolLit, IntLit))
+
+
+class ProgramLint:
+    """Runs the rule set over one program (all functions)."""
+
+    def __init__(self, rules: tuple[str, ...] = RULES):
+        unknown = set(rules) - set(RULES)
+        if unknown:
+            raise ValueError(f"unknown lint rules: {sorted(unknown)}")
+        self.rules = tuple(rules)
+
+    # ------------------------------------------------------------------
+    def lint(self, unit: TranslationUnit, context: str = "") -> list[Finding]:
+        findings: list[Finding] = []
+        program = ProgramCFG(unit)
+        for cfg in program:
+            findings.extend(self._lint_function(cfg, context))
+        findings.sort(key=lambda f: (f.function, f.sid, f.rule))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _lint_function(self, cfg: FunctionCFG,
+                       context: str) -> list[Finding]:
+        findings: list[Finding] = []
+        const = constant_propagation(cfg)
+        dead_sids = unreachable_statements(cfg, const)
+        live_out, _ = liveness(cfg)
+        reach_before, _ = reaching_definitions(cfg)
+        chains = use_def_chains(cfg, before=reach_before)
+
+        def emit(rule: str, stmt, message: str) -> None:
+            if rule in self.rules:
+                findings.append(Finding(rule, cfg.name, stmt.sid, message,
+                                        stmt.source(), context))
+
+        # ---- unused-variable: declared, never read anywhere ----------
+        read_somewhere: set[str] = set()
+        for stmt in cfg.statements:
+            read_somewhere |= stmt.uses
+            read_somewhere |= stmt.weak_defs
+        for stmt in cfg.statements:
+            for name in sorted(stmt.decls - read_somewhere):
+                emit("unused-variable", stmt,
+                     f"'{name}' is declared but never used")
+
+        # ---- per-statement rules -------------------------------------
+        for stmt in cfg.statements:
+            unreachable = stmt.sid in dead_sids
+            if unreachable:
+                emit("unreachable-statement", stmt,
+                     "no feasible path from function entry reaches this "
+                     "statement")
+                continue      # facts on dead code are vacuous
+
+            # dead-store: a strong, effect-free def of a name not live
+            # after the statement (and read *somewhere*, else it is the
+            # unused-variable finding).
+            for name in sorted(stmt.defs):
+                if name in stmt.uninit_decls or name not in read_somewhere:
+                    continue
+                if name in live_out.get(stmt.sid, frozenset()):
+                    continue
+                if isinstance(stmt.node, IoRead):
+                    continue  # cin >> x consumes input even if x is dead
+                if stmt.role == "cond":
+                    continue  # `while (t--)` defines t as a side effect
+                value = _stored_value(stmt.node, name)
+                if value is _NOT_A_PLAIN_STORE or _has_side_effects(value):
+                    continue
+                if value is None and isinstance(stmt.node, VarDecl):
+                    continue  # a bare `string s;` is a decl, not a store
+                emit("dead-store", stmt,
+                     f"value stored to '{name}' is never read")
+
+            # use-before-def: a read reachable from an uninitialized
+            # declaration with no intervening assignment on some path.
+            for name in sorted(stmt.uses):
+                sites = chains.get((stmt.sid, name), frozenset())
+                if any(site.kind == "uninit" for site in sites):
+                    emit("use-before-def", stmt,
+                         f"'{name}' may be read before initialization")
+
+            # constant-branch-condition: non-literal, provably constant.
+            if (stmt.role == "cond" and stmt.sid in const.const_conds
+                    and not _is_literal_condition(stmt.node)):
+                value = const.const_conds[stmt.sid]
+                emit("constant-branch-condition", stmt,
+                     f"condition is always {'true' if value else 'false'}")
+        return findings
+
+
+_NOT_A_PLAIN_STORE = object()
+
+
+def _stored_value(node: Node, name: str):
+    """The RHS expression a plain store to ``name`` evaluates, or the
+    :data:`_NOT_A_PLAIN_STORE` sentinel when the statement is not a
+    simple assignment/initialization of ``name``."""
+    from ..cpp_ast import ExprStmt
+
+    if isinstance(node, VarDecl):
+        for declarator in node.declarators:
+            if declarator.name == name:
+                return declarator.init
+        return _NOT_A_PLAIN_STORE
+    if isinstance(node, ExprStmt):
+        node = node.expr
+    if (isinstance(node, Assign) and isinstance(node.target, Ident)
+            and node.target.name == name):
+        return node.value
+    if (isinstance(node, (UnaryOp, PostfixOp)) and node.op in ("++", "--")
+            and isinstance(node.operand, Ident)
+            and node.operand.name == name):
+        return node.operand    # pure read-modify-write of a dead name
+    return _NOT_A_PLAIN_STORE
+
+
+# ---------------------------------------------------------------------------
+# baseline / suppressions
+# ---------------------------------------------------------------------------
+@dataclass
+class LintBaseline:
+    """Machine-readable suppression file for the ``lint-corpus`` gate.
+
+    Schema (JSON)::
+
+        {"version": 1,
+         "suppressions": [
+            {"rule": "dead-store", "context": "C/*",
+             "source": "last =", "reason": "why this is intended"}]}
+
+    ``rule`` matches exactly; ``context`` is an ``fnmatch`` glob over
+    the finding's context string (``<tag>/<variant>`` for generated
+    programs); ``source`` (optional) must be a substring of the
+    offending statement's source. ``reason`` is mandatory — an
+    undocumented suppression is itself a gate failure.
+    """
+
+    suppressions: list[dict] = field(default_factory=list)
+    path: str = ""
+
+    @classmethod
+    def load(cls, path) -> "LintBaseline":
+        payload = json.loads(Path(path).read_text())
+        if payload.get("version") != 1:
+            raise ValueError(f"unsupported baseline version "
+                             f"{payload.get('version')!r} in {path}")
+        entries = payload.get("suppressions", [])
+        for entry in entries:
+            missing = {"rule", "context", "reason"} - set(entry)
+            if missing:
+                raise ValueError(f"baseline entry {entry!r} is missing "
+                                 f"{sorted(missing)}")
+            if not str(entry["reason"]).strip():
+                raise ValueError(f"baseline entry {entry!r} has an empty "
+                                 "reason; suppressions must be documented")
+        return cls(suppressions=list(entries), path=str(path))
+
+    def save(self, path) -> None:
+        Path(path).write_text(json.dumps(
+            {"version": 1, "suppressions": self.suppressions}, indent=2)
+            + "\n")
+
+    def match(self, finding: Finding) -> dict | None:
+        for entry in self.suppressions:
+            if entry["rule"] != finding.rule:
+                continue
+            if not fnmatchcase(finding.context, entry["context"]):
+                continue
+            if entry.get("source") and entry["source"] not in finding.source:
+                continue
+            return entry
+        return None
+
+    def split(self, findings: list[Finding],
+              ) -> tuple[list[Finding], list[Finding]]:
+        """Partition into (unsuppressed, suppressed)."""
+        kept: list[Finding] = []
+        suppressed: list[Finding] = []
+        for finding in findings:
+            (suppressed if self.match(finding) else kept).append(finding)
+        return kept, suppressed
+
+
+# ---------------------------------------------------------------------------
+# conveniences
+# ---------------------------------------------------------------------------
+def lint_unit(unit: TranslationUnit, context: str = "",
+              rules: tuple[str, ...] = RULES) -> list[Finding]:
+    return ProgramLint(rules).lint(unit, context=context)
+
+
+def lint_source(source: str, context: str = "",
+                rules: tuple[str, ...] = RULES) -> list[Finding]:
+    from ..parser import parse
+
+    return ProgramLint(rules).lint(parse(source), context=context)

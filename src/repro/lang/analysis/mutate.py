@@ -1,0 +1,399 @@
+"""Provably-dead mutation generation (dead-code-insertion mutants).
+
+The robustness workloads of ROADMAP item 4 need *semantics-preserving*
+mutants. Sampling-and-hoping is not preservation; this module makes it
+a theorem with two independent legs:
+
+1. **Liveness proof (static, this module).** Every mutant records
+   exactly where its statements were inserted. :func:`prove_dead`
+   re-parses the mutant from source, rebuilds the CFG, and checks that
+   each inserted statement is either a *dead store* (a side-effect-free
+   strong def of a name that is not live afterwards) or *unreachable*
+   (behind a constant-false branch). Mutants are constructed so the
+   proof holds by construction — a proof failure is a generator bug and
+   raises :class:`MutationProofError` rather than emitting a bad mutant.
+2. **Differential execution (dynamic, :mod:`repro.judge.differential`).**
+   The mutant must produce byte-identical stdout to its original on
+   seeded judge inputs. Tests require ≥ 8 inputs per problem.
+
+Three mutation kinds:
+
+``dead_store``    ``x = <pure expr>;`` where liveness proves ``x`` dead
+                  at the insertion point (the expr reads only
+                  definitely-initialized scalars).
+``dead_decl``     ``int <fresh> = <pure expr>;`` — a new name that is
+                  never read.
+``dead_branch``   ``if (0) { ... }`` — writes guarded by a
+                  constant-false condition, unreachable by constant
+                  propagation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cpp_ast import (
+    Assign, BinaryOp, Block, Declarator, ExprStmt, FunctionDef, Ident,
+    IntLit, If, IoRead, IoWrite, Node, TranslationUnit, TypeSpec, VarDecl,
+)
+from ..parser import parse
+from ..printer import to_source
+from .cfg import ProgramCFG
+from .dataflow import (
+    constant_propagation, liveness, reaching_definitions,
+    unreachable_statements,
+)
+from .lint import _NOT_A_PLAIN_STORE, _has_side_effects, _stored_value
+
+__all__ = ["DeadMutant", "MutationProofError", "InsertionPoint",
+           "generate_dead_mutants", "prove_dead", "insertion_points",
+           "MUTATION_KINDS"]
+
+MUTATION_KINDS = ("dead_store", "dead_decl", "dead_branch")
+
+#: scalar bases a synthesized store/read may touch
+_SCALAR_BASES = frozenset({"int", "long long", "bool"})
+
+
+class MutationProofError(AssertionError):
+    """The static dead-code proof failed — the mutant is not emitted."""
+
+
+@dataclass(frozen=True)
+class DeadMutant:
+    """One dead-code-insertion mutant plus its proof coordinates.
+
+    ``block_ordinal`` is the pre-order index of the containing
+    :class:`~repro.lang.cpp_ast.Block` within the function body and
+    ``index``/``count`` locate the inserted statements inside it — which
+    is how :func:`prove_dead` re-finds them in a fresh parse of
+    ``source`` (no trust in the construction path).
+    """
+
+    source: str
+    original_source: str
+    kind: str
+    function: str
+    block_ordinal: int
+    index: int
+    count: int = 1
+    description: str = ""
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "function": self.function,
+                "block_ordinal": self.block_ordinal, "index": self.index,
+                "count": self.count, "description": self.description}
+
+
+@dataclass
+class InsertionPoint:
+    """A legal spot to insert statements, with the proof inputs."""
+
+    function: str
+    block_ordinal: int
+    index: int                       # insert *at* this statement index
+    #: scalar int-ish locals in scope, name -> True
+    scope: dict = field(default_factory=dict)
+    #: names proven dead here (insertable store targets)
+    dead: tuple = ()
+    #: names proven definitely-initialized here (readable in pure exprs)
+    readable: tuple = ()
+
+
+# ---------------------------------------------------------------------------
+# discovery
+# ---------------------------------------------------------------------------
+def _function_blocks(fn: FunctionDef) -> list[Block]:
+    """All Block nodes of a function body, in pre-order (body first).
+
+    Insertion only ever *appends into statement lists*, which never
+    reorders the pre-order prefix — so an ordinal computed on the
+    original resolves to the same containing block in the mutant.
+    """
+    return [node for node in fn.body.walk() if isinstance(node, Block)]
+
+
+def _is_scalar(type_spec: TypeSpec, declarator: Declarator | None = None,
+               ) -> bool:
+    if type_spec.args or type_spec.base not in _SCALAR_BASES:
+        return False
+    return declarator is None or not declarator.array_sizes
+
+
+def insertion_points(unit: TranslationUnit) -> list[InsertionPoint]:
+    """Every legal insertion point in every function of ``unit``.
+
+    A point sits immediately after an atomic statement in some block;
+    its ``dead`` set comes from liveness (names whose current value can
+    never be read again) and its ``readable`` set from reaching
+    definitions (names with no uninitialized definition reaching)."""
+    program = ProgramCFG(unit)
+    points: list[InsertionPoint] = []
+    for cfg in program:
+        live_out, _ = liveness(cfg)
+        _, reach_after = reaching_definitions(cfg)
+        sid_of = {id(stmt.node): stmt.sid for stmt in cfg.statements}
+        blocks = _function_blocks(cfg.function)
+        ordinal_of = {id(block): i for i, block in enumerate(blocks)}
+        scope0 = {p.name: True for p in cfg.function.params
+                  if _is_scalar(p.type)}
+
+        def walk(block: Block, scope: dict) -> None:
+            for k, stmt in enumerate(block.statements):
+                if isinstance(stmt, VarDecl):
+                    # names declared by stmt ARE in scope at the point
+                    # right after it
+                    for declarator in stmt.declarators:
+                        scope[declarator.name] = _is_scalar(stmt.type,
+                                                            declarator)
+                sid = sid_of.get(id(stmt))
+                if isinstance(stmt, (VarDecl, ExprStmt, IoRead, IoWrite)) \
+                        and sid is not None:
+                    live = live_out.get(sid, frozenset())
+                    reaching = reach_after.get(sid, frozenset())
+                    initialized = {
+                        site.name for site in reaching
+                        if site.kind != "uninit"}
+                    tainted = {site.name for site in reaching
+                               if site.kind == "uninit"}
+                    dead = tuple(sorted(n for n in scope if n not in live))
+                    readable = tuple(sorted(
+                        n for n in scope
+                        if n in initialized and n not in tainted))
+                    points.append(InsertionPoint(
+                        cfg.name, ordinal_of[id(block)], k + 1,
+                        dict(scope), dead, readable))
+                for child in _nested_blocks_of(stmt):
+                    walk(child, dict(scope))
+
+        walk(cfg.function.body, dict(scope0))
+    # keep only scalar names in scope maps
+    for point in points:
+        point.scope = {n: True for n, ok in point.scope.items() if ok}
+        point.dead = tuple(n for n in point.dead if point.scope.get(n))
+        point.readable = tuple(n for n in point.readable
+                               if point.scope.get(n))
+    return points
+
+
+def _nested_blocks_of(stmt: Node) -> list[Block]:
+    """Direct sub-blocks of a compound statement (not recursive)."""
+    from ..cpp_ast import DoWhile, For, If as IfNode, While
+
+    out: list[Block] = []
+    if isinstance(stmt, IfNode):
+        candidates = [stmt.then, stmt.orelse]
+    elif isinstance(stmt, (While, DoWhile)):
+        candidates = [stmt.body]
+    elif isinstance(stmt, For):
+        candidates = [stmt.body]
+    else:
+        candidates = []
+    for child in candidates:
+        if isinstance(child, Block):
+            out.append(child)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# synthesis
+# ---------------------------------------------------------------------------
+def _pure_expr(rng: np.random.Generator, readable: tuple,
+               depth: int = 0) -> Node:
+    """A side-effect-free integer expression over literals + ``readable``."""
+    if depth >= 2 or rng.random() < 0.45 or not readable:
+        if readable and rng.random() < 0.5:
+            return Ident(str(readable[int(rng.integers(len(readable)))]))
+        return IntLit(int(rng.integers(-9, 10)))
+    op = ("+", "-", "*")[int(rng.integers(3))]
+    return BinaryOp(op, _pure_expr(rng, readable, depth + 1),
+                    _pure_expr(rng, readable, depth + 1))
+
+
+def _fresh_name(unit: TranslationUnit, rng: np.random.Generator) -> str:
+    taken = {node.name for node in unit.walk()
+             if isinstance(node, Ident)}
+    for node in unit.walk():
+        if isinstance(node, Declarator):
+            taken.add(node.name)
+    while True:
+        candidate = f"dm_{int(rng.integers(0, 10_000))}"
+        if candidate not in taken:
+            return candidate
+
+
+def _build_inserted(kind: str, point: InsertionPoint, unit: TranslationUnit,
+                    rng: np.random.Generator) -> tuple[list[Node], str] | None:
+    """The statements to insert for ``kind`` at ``point`` (or None when
+    the point cannot host that kind)."""
+    if kind == "dead_store":
+        if not point.dead:
+            return None
+        target = str(point.dead[int(rng.integers(len(point.dead)))])
+        expr = _pure_expr(rng, tuple(n for n in point.readable
+                                     if n != target) or point.readable)
+        stmt = ExprStmt(expr=Assign(op="=", target=Ident(target),
+                                    value=expr))
+        return [stmt], f"dead store to '{target}'"
+    if kind == "dead_decl":
+        name = _fresh_name(unit, rng)
+        expr = _pure_expr(rng, point.readable)
+        stmt = VarDecl(type=TypeSpec(base="int"),
+                       declarators=[Declarator(name=name, init=expr)])
+        return [stmt], f"dead declaration '{name}'"
+    if kind == "dead_branch":
+        body: list[Node] = []
+        targets = point.dead or tuple(point.scope)
+        for _ in range(int(rng.integers(1, 3))):
+            if targets and rng.random() < 0.8:
+                name = str(targets[int(rng.integers(len(targets)))])
+                body.append(ExprStmt(expr=Assign(
+                    op="=", target=Ident(name),
+                    value=_pure_expr(rng, point.readable))))
+            else:
+                body.append(VarDecl(
+                    type=TypeSpec(base="int"),
+                    declarators=[Declarator(name=_fresh_name(unit, rng),
+                                            init=_pure_expr(
+                                                rng, point.readable))]))
+        stmt = If(cond=IntLit(0), then=Block(statements=body), orelse=None)
+        return [stmt], "constant-false branch"
+    raise ValueError(f"unknown mutation kind {kind!r}")
+
+
+def generate_dead_mutants(source: str, seed: int = 0,
+                          count: int = 4,
+                          kinds: tuple[str, ...] = MUTATION_KINDS,
+                          ) -> list[DeadMutant]:
+    """Up to ``count`` liveness-proven dead-code mutants of ``source``.
+
+    Every returned mutant has already passed :func:`prove_dead` on its
+    own re-parsed source. Deterministic in ``seed``.
+    """
+    unknown = set(kinds) - set(MUTATION_KINDS)
+    if unknown:
+        raise ValueError(f"unknown mutation kinds: {sorted(unknown)}")
+    rng = np.random.default_rng(seed)
+    original = parse(source)
+    points = insertion_points(original)
+    if not points:
+        return []
+    mutants: list[DeadMutant] = []
+    seen: set[str] = set()
+    attempts = 0
+    while len(mutants) < count and attempts < count * 10 + 10:
+        attempts += 1
+        point = points[int(rng.integers(len(points)))]
+        kind = str(kinds[int(rng.integers(len(kinds)))])
+        built = _build_inserted(kind, point, original, rng)
+        if built is None:
+            continue
+        stmts, description = built
+        # apply on a *fresh* parse so mutants never share AST nodes
+        work = parse(source)
+        fn = _find_function(work, point.function)
+        block = _function_blocks(fn)[point.block_ordinal]
+        block.statements[point.index:point.index] = stmts
+        rendered = to_source(work)
+        if rendered in seen:
+            continue
+        seen.add(rendered)
+        mutant = DeadMutant(
+            source=rendered, original_source=source, kind=kind,
+            function=point.function, block_ordinal=point.block_ordinal,
+            index=point.index, count=len(stmts), description=description)
+        prove_dead(mutant)       # raises on a construction bug
+        mutants.append(mutant)
+    return mutants
+
+
+def _find_function(unit: TranslationUnit, name: str) -> FunctionDef:
+    for fn in unit.functions:
+        if isinstance(fn, FunctionDef) and fn.name == name:
+            return fn
+    raise MutationProofError(f"mutant lost function {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# the proof
+# ---------------------------------------------------------------------------
+def prove_dead(mutant: DeadMutant) -> dict:
+    """Re-derive the dead-code proof from the mutant's *source*.
+
+    Parses ``mutant.source`` from scratch, locates the inserted
+    statements by their recorded coordinates, and proves each one is
+    semantically invisible:
+
+    * an **unreachable** statement (constant-false branch), or
+    * a **dead store**: a side-effect-free statement that strongly
+      defines exactly one name, never weakly defines anything, and whose
+      defined name is not live after it.
+
+    Returns a machine-readable proof dict; raises
+    :class:`MutationProofError` if any obligation fails.
+    """
+    unit = parse(mutant.source)
+    fn = _find_function(unit, mutant.function)
+    blocks = _function_blocks(fn)
+    if mutant.block_ordinal >= len(blocks):
+        raise MutationProofError("mutant block ordinal out of range")
+    block = blocks[mutant.block_ordinal]
+    inserted = block.statements[mutant.index:mutant.index + mutant.count]
+    if len(inserted) != mutant.count:
+        raise MutationProofError("inserted statements not found at the "
+                                 "recorded coordinates")
+
+    cfg = ProgramCFG(unit).functions[mutant.function]
+    live_out, _ = liveness(cfg)
+    const = constant_propagation(cfg)
+    dead_sids = unreachable_statements(cfg, const)
+    stmt_of = {id(s.node): s for s in cfg.statements}
+
+    obligations: list[dict] = []
+    for node in inserted:
+        inserted_ids = {id(sub) for sub in node.walk()}
+        covered = [stmt_of[i] for i in inserted_ids if i in stmt_of]
+        if not covered:
+            raise MutationProofError(
+                f"inserted {type(node).__name__} produced no CFG "
+                "statements")
+        for stmt in covered:
+            if stmt.role == "cond":
+                value = const.const_conds.get(stmt.sid)
+                if value is None or value:
+                    raise MutationProofError(
+                        f"inserted condition {stmt.source()!r} is not "
+                        "provably false")
+                obligations.append({"sid": stmt.sid,
+                                    "proof": "constant-false-condition"})
+                continue
+            if stmt.sid in dead_sids:
+                obligations.append({"sid": stmt.sid,
+                                    "proof": "unreachable"})
+                continue
+            # reachable: must be a dead store
+            if stmt.weak_defs:
+                raise MutationProofError(
+                    f"inserted statement {stmt.source()!r} weakly "
+                    f"defines {sorted(stmt.weak_defs)}")
+            if len(stmt.defs) != 1:
+                raise MutationProofError(
+                    f"inserted statement {stmt.source()!r} defines "
+                    f"{sorted(stmt.defs)}; a dead store must define "
+                    "exactly one name")
+            (name,) = stmt.defs
+            value = _stored_value(stmt.node, name)
+            if value is _NOT_A_PLAIN_STORE or _has_side_effects(value):
+                raise MutationProofError(
+                    f"inserted statement {stmt.source()!r} is not a "
+                    "side-effect-free plain store")
+            if name in live_out.get(stmt.sid, frozenset()):
+                raise MutationProofError(
+                    f"inserted store to '{name}' is LIVE after sid "
+                    f"{stmt.sid} — not a dead store")
+            obligations.append({"sid": stmt.sid, "proof": "dead-store",
+                                "name": name})
+    return {"kind": mutant.kind, "function": mutant.function,
+            "obligations": obligations}

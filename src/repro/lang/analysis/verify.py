@@ -1,0 +1,109 @@
+"""Static verification that transforms preserve def-use structure.
+
+A program's *def-use signature* is the sequence, in control-flow build
+order, of per-statement events ``(role, defs, weak_defs, uses, decls)``
+with every variable name replaced by its first-appearance index — an
+α-renaming-invariant summary of how data flows through the function.
+
+Two classes of transforms in this repo claim to be meaning-preserving
+and can now be checked instead of trusted:
+
+* :func:`repro.lang.simplify.simplify` re-roots function definitions —
+  it must not touch any body, so the signature must be identical.
+* :class:`repro.corpus.styles.Style` surface choices (identifier pools,
+  ``i++`` vs ``++i`` vs ``i += 1``, ``for`` vs equivalent ``while``,
+  braces, flipped comparisons, ``endl`` vs ``"\\n"``) change the AST but
+  must not change which names are defined/used where. Two renderings of
+  the same algorithm under different styles must produce equal
+  signatures.
+"""
+
+from __future__ import annotations
+
+from ..cpp_ast import Node, Root, TranslationUnit
+from .cfg import ProgramCFG
+
+__all__ = ["DefUseMismatch", "defuse_signature", "verify_same_defuse",
+           "verify_simplify_preserves"]
+
+
+class DefUseMismatch(AssertionError):
+    """Two programs that should share def-use structure do not."""
+
+
+def _canonical_events(cfg) -> tuple:
+    """α-canonical per-statement event tuple for one function CFG.
+
+    A name's canonical index is the rank of its *occurrence signature* —
+    the sequence of ``(statement index, field)`` slots it appears in
+    across the whole function. The signature is name-free, so renaming
+    cannot change ranks; names introduced simultaneously (``int n, m;``)
+    are ordered by how they are used later, and names with identical
+    signatures are fully interchangeable (any tie order yields the same
+    event stream).
+    """
+    fields = ("decls", "defs", "weak_defs", "uses")
+    occurrences: dict[str, list[tuple[int, int]]] = {}
+    for si, stmt in enumerate(cfg.statements):
+        for fi, fieldname in enumerate(fields):
+            for name in getattr(stmt, fieldname):
+                occurrences.setdefault(name, []).append((si, fi))
+    ranked = sorted(occurrences, key=lambda n: occurrences[n])
+    rename = {name: rank for rank, name in enumerate(ranked)}
+
+    def canon(names: frozenset[str]) -> tuple[int, ...]:
+        return tuple(sorted(rename[name] for name in names))
+
+    events = []
+    for stmt in cfg.statements:
+        events.append((stmt.role, canon(stmt.defs), canon(stmt.weak_defs),
+                       canon(stmt.uses), canon(stmt.decls)))
+    return tuple(events)
+
+
+def defuse_signature(unit: TranslationUnit | Root) -> tuple:
+    """Per-function canonical def-use event streams, in function order.
+
+    Hashable and order-stable: two programs with equal signatures have
+    the same number of functions, the same per-function statement event
+    stream, and the same def/use/def-weak/decl pattern modulo variable
+    renaming.
+    """
+    program = ProgramCFG(unit)
+    return tuple(_canonical_events(cfg) for cfg in program)
+
+
+def verify_same_defuse(before: TranslationUnit | Root | Node,
+                       after: TranslationUnit | Root | Node,
+                       label: str = "transform") -> None:
+    """Raise :class:`DefUseMismatch` with a readable diff when the two
+    programs' def-use signatures differ."""
+    sig_a = defuse_signature(before)
+    sig_b = defuse_signature(after)
+    if sig_a == sig_b:
+        return
+    if len(sig_a) != len(sig_b):
+        raise DefUseMismatch(
+            f"{label}: function count changed "
+            f"{len(sig_a)} -> {len(sig_b)}")
+    for fi, (fa, fb) in enumerate(zip(sig_a, sig_b)):
+        if fa == fb:
+            continue
+        if len(fa) != len(fb):
+            raise DefUseMismatch(
+                f"{label}: function #{fi} statement-event count changed "
+                f"{len(fa)} -> {len(fb)}")
+        for si, (ea, eb) in enumerate(zip(fa, fb)):
+            if ea != eb:
+                raise DefUseMismatch(
+                    f"{label}: function #{fi} event #{si} differs:\n"
+                    f"  before: {ea}\n  after:  {eb}")
+    raise DefUseMismatch(f"{label}: def-use signatures differ")
+
+
+def verify_simplify_preserves(unit: TranslationUnit) -> None:
+    """Prove :func:`~repro.lang.simplify.simplify` did not alter any
+    function body's def-use structure for this program."""
+    from ..simplify import simplify
+
+    verify_same_defuse(unit, simplify(unit), label="simplify")

@@ -244,8 +244,11 @@ class ClusterServer:
             return
         request_id = request.get("id")
         op = request.get("op")
-        # admin ops are answered by the supervisor, not a worker
-        if op == "cluster_stats":
+        # admin ops are answered by the supervisor, not a worker.
+        # `stats` aggregates across the whole cluster (same snapshot as
+        # `cluster_stats`): a per-worker service counter dump would be
+        # misleading behind a round-robin router.
+        if op in ("cluster_stats", "stats"):
             reply({"ok": True, "id": request_id,
                    "stats": self.supervisor.stats()}
                   if request_id is not None else

@@ -1,0 +1,136 @@
+"""Corpus-level lint gate and mutant-equivalence properties.
+
+Property 1: every program from every registered generator (Table-I tags
+A-I plus the MP pool) is lint-clean, or covered by a documented
+suppression in the bundled baseline.
+
+Property 2: every dead-code mutant of a generated program is
+judge-equivalent to its original on >= 8 seeded inputs per problem —
+and each mutant is liveness-proven dead before it is ever executed, so
+neither leg of the equivalence argument can be weakened alone.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.corpus import Collector, Style, family_for_tag, mp_families
+from repro.corpus.registry import TABLE1_TAGS
+from repro.judge import differential_check, seeded_inputs
+from repro.lang.analysis import (
+    LintBaseline, generate_dead_mutants, lint_source, prove_dead,
+)
+
+BASELINE = LintBaseline.load(
+    Path(repro.__file__).parent / "corpus" / "lint_baseline.json")
+
+
+def all_families():
+    families = [family_for_tag(tag, scale=0.4, num_tests=2, seed=11)
+                for tag in TABLE1_TAGS]
+    families.extend(mp_families(count=10, scale=0.4))
+    return families
+
+
+class TestGeneratorsLintClean:
+    @pytest.mark.parametrize("family", all_families(),
+                             ids=lambda f: f.tag)
+    def test_every_generator_is_lint_clean_or_suppressed(self, family):
+        rng = np.random.default_rng(
+            hash(family.tag) % (2 ** 32))
+        for _ in range(6):
+            solution = family.emit_solution(rng, Style(rng))
+            context = f"{family.tag}/{solution.variant}"
+            findings = lint_source(solution.source, context=context)
+            unsuppressed, _ = BASELINE.split(findings)
+            assert not unsuppressed, (
+                context + ":\n" +
+                "\n".join(f.render() for f in unsuppressed) +
+                "\n--- source ---\n" + solution.source)
+
+
+class TestMutantEquivalence:
+    # a cross-section of algorithm shapes: loops+vectors, maps,
+    # recursion over a global memo, and one MP-pool family
+    SAMPLE_TAGS = ("A", "C", "G")
+
+    @pytest.mark.parametrize("tag", SAMPLE_TAGS)
+    def test_mutants_judge_equivalent_per_problem(self, tag):
+        family = family_for_tag(tag, scale=0.4, num_tests=2, seed=11)
+        self.check_family(family)
+
+    def test_mp_family_mutants_judge_equivalent(self):
+        family = mp_families(count=1, scale=0.4)[0]
+        self.check_family(family)
+
+    def check_family(self, family):
+        rng = np.random.default_rng(23)
+        solution = family.emit_solution(rng, Style(rng))
+        inputs = seeded_inputs(family, count=8)
+        assert len(inputs) >= 8
+        mutants = generate_dead_mutants(solution.source, seed=31, count=3)
+        assert mutants, f"no mutants generated for {family.tag}"
+        for mutant in mutants:
+            # static leg first: refuse to even run an unproven mutant
+            proof = prove_dead(mutant)
+            assert proof["obligations"]
+            report = differential_check(solution.source, mutant.source,
+                                        inputs)
+            assert report.equivalent, (
+                f"{family.tag} mutant ({mutant.description}) diverged: "
+                f"{report.failures}")
+            assert report.inputs_run == len(inputs)
+
+
+class TestCollectorLintHook:
+    def test_lint_gate_passes_on_a_clean_family(self):
+        family = family_for_tag("C", scale=0.3, num_tests=2, seed=7)
+        collector = Collector(seed=3, lint=True, lint_baseline=BASELINE)
+        db = collector.collect([family], per_problem=2)
+        assert len(db) == 2
+
+    def test_strict_mode_raises_on_a_lint_finding(self, monkeypatch):
+        family = family_for_tag("C", scale=0.3, num_tests=2, seed=7)
+        original = family.emit_solution
+
+        def sabotaged(rng, style):
+            solution = original(rng, style)
+            broken = solution.source.replace(
+                "int main() {",
+                "int main() {\n    int arch_unused_probe;", 1)
+            return type(solution)(source=broken, variant=solution.variant,
+                                  knobs=solution.knobs)
+
+        monkeypatch.setattr(family, "emit_solution", sabotaged)
+        collector = Collector(seed=3, lint=True, lint_baseline=BASELINE)
+        with pytest.raises(RuntimeError, match="lint failure"):
+            collector.collect([family], per_problem=1)
+
+    def test_lenient_mode_skips_and_counts(self, monkeypatch):
+        from repro.corpus import CollectionReport
+
+        family = family_for_tag("C", scale=0.3, num_tests=2, seed=7)
+        original = family.emit_solution
+        calls = {"n": 0}
+
+        def alternately_sabotaged(rng, style):
+            solution = original(rng, style)
+            calls["n"] += 1
+            if calls["n"] % 2 == 1:
+                broken = solution.source.replace(
+                    "int main() {",
+                    "int main() {\n    int arch_unused_probe;", 1)
+                return type(solution)(source=broken,
+                                      variant=solution.variant,
+                                      knobs=solution.knobs)
+            return solution
+
+        monkeypatch.setattr(family, "emit_solution", alternately_sabotaged)
+        report = CollectionReport()
+        collector = Collector(seed=3, strict=False, lint=True,
+                              lint_baseline=BASELINE)
+        db = collector.collect([family], per_problem=2, report=report)
+        assert len(db) == 2
+        assert report.lint_findings >= 1

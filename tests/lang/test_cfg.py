@@ -1,0 +1,220 @@
+"""CFG construction: blocks, typed edges, and def/use extraction."""
+
+import pytest
+
+from repro.lang import parse
+from repro.lang.analysis import (
+    BUILTIN_IDENTS, EDGE_KINDS, FunctionCFG, ProgramCFG, build_program_cfg,
+)
+
+
+def cfg_of(source, name="main"):
+    return ProgramCFG(parse(source)).functions[name]
+
+
+def stmt_by_source(cfg, needle, role=None):
+    for stmt in cfg.statements:
+        if needle in stmt.source() and (role is None or stmt.role == role):
+            return stmt
+    raise AssertionError(f"no statement matching {needle!r}")
+
+
+class TestStructure:
+    def test_straight_line_is_one_reachable_component(self):
+        cfg = cfg_of("""
+            int main() {
+                int a = 1;
+                int b = a + 2;
+                cout << b << "\\n";
+                return 0;
+            }
+        """)
+        assert cfg.entry.bid in cfg.reachable_blocks()
+        assert cfg.exit.bid in cfg.reachable_blocks()
+        assert [s.role for s in cfg.statements] == ["stmt"] * 4
+
+    def test_if_else_diamond(self):
+        cfg = cfg_of("""
+            int main() {
+                int a = 1;
+                if (a > 0) { a = 2; } else { a = 3; }
+                cout << a << "\\n";
+                return 0;
+            }
+        """)
+        cond = stmt_by_source(cfg, "a > 0", role="cond")
+        kinds = {kind for _, kind in cond.block.succ}
+        assert kinds == {"true", "false"}
+
+    def test_while_loop_has_back_edge(self):
+        cfg = cfg_of("""
+            int main() {
+                int i = 0;
+                while (i < 3) { i = i + 1; }
+                return 0;
+            }
+        """)
+        kinds = {kind for block in cfg.blocks for _, kind in block.succ}
+        assert "back" in kinds
+
+    def test_for_loop_header_and_step(self):
+        cfg = cfg_of("""
+            int main() {
+                for (int i = 0; i < 4; i++) { cout << i << "\\n"; }
+                return 0;
+            }
+        """)
+        cond = stmt_by_source(cfg, "i < 4", role="cond")
+        assert {kind for _, kind in cond.block.succ} == {"true", "false"}
+        step = stmt_by_source(cfg, "i++", role="stmt")
+        assert any(kind == "back" for _, kind in step.block.succ)
+
+    def test_break_and_continue_edges(self):
+        cfg = cfg_of("""
+            int main() {
+                for (int i = 0; i < 9; i++) {
+                    if (i == 2) { continue; }
+                    if (i == 5) { break; }
+                    cout << i << "\\n";
+                }
+                return 0;
+            }
+        """)
+        kinds = {kind for block in cfg.blocks for _, kind in block.succ}
+        assert {"break", "continue", "back"} <= kinds
+        assert kinds <= set(EDGE_KINDS)
+
+    def test_code_after_return_is_predecessorless(self):
+        cfg = cfg_of("""
+            int main() {
+                return 0;
+                cout << "never" << "\\n";
+            }
+        """)
+        dead = stmt_by_source(cfg, "never")
+        assert dead.block.bid not in cfg.reachable_blocks()
+        assert not dead.block.pred
+
+    def test_rpo_covers_every_block_once(self):
+        cfg = cfg_of("""
+            int main() {
+                int i = 0;
+                while (i < 3) { if (i == 1) { break; } i++; }
+                return 0;
+                cout << "dead" << "\\n";
+            }
+        """)
+        order = cfg.rpo()
+        assert sorted(b.bid for b in order) == sorted(
+            b.bid for b in cfg.blocks)
+
+
+class TestDefUse:
+    def test_decl_and_use(self):
+        cfg = cfg_of("""
+            int main() {
+                int a = 1;
+                cout << a << "\\n";
+                return 0;
+            }
+        """)
+        decl = stmt_by_source(cfg, "int a")
+        assert decl.decls == {"a"} and decl.defs == {"a"}
+        assert not decl.uninit_decls
+        out = stmt_by_source(cfg, "cout")
+        assert out.uses == {"a"}
+
+    def test_scalar_decl_without_init_is_uninit(self):
+        cfg = cfg_of("int main() { int a; cin >> a; return 0; }")
+        decl = stmt_by_source(cfg, "int a")
+        assert decl.uninit_decls == {"a"}
+
+    def test_container_decl_without_init_is_initialized(self):
+        cfg = cfg_of("""
+            int main() {
+                vector<int> v;
+                v.push_back(1);
+                return 0;
+            }
+        """)
+        decl = stmt_by_source(cfg, "vector<int> v")
+        assert decl.defs == {"v"}
+        assert not decl.uninit_decls
+
+    def test_element_store_is_weak_def(self):
+        cfg = cfg_of("""
+            int main() {
+                vector<int> v(3, 0);
+                v[0] = 7;
+                v.push_back(1);
+                return 0;
+            }
+        """)
+        store = stmt_by_source(cfg, "v[0] = 7")
+        assert store.weak_defs == {"v"} and "v" in store.uses
+        push = stmt_by_source(cfg, "push_back")
+        assert push.weak_defs == {"v"}
+
+    def test_cin_is_strong_def_of_ident_targets(self):
+        cfg = cfg_of("int main() { int a; int b; cin >> a >> b; return 0; }")
+        read = stmt_by_source(cfg, "cin")
+        assert read.defs == {"a", "b"}
+
+    def test_cond_role_extracts_side_effect_defs(self):
+        cfg = cfg_of("""
+            int main() {
+                int t = 3;
+                while (t--) { cout << t << "\\n"; }
+                return 0;
+            }
+        """)
+        cond = stmt_by_source(cfg, "t--", role="cond")
+        assert "t" in cond.defs or "t" in cond.weak_defs
+        assert "t" in cond.uses
+
+    def test_endl_is_not_a_variable_use(self):
+        cfg = cfg_of("int main() { cout << 1 << endl; return 0; }")
+        out = stmt_by_source(cfg, "cout")
+        assert "endl" in BUILTIN_IDENTS
+        assert "endl" not in out.uses
+
+    def test_sort_call_weakly_defines_its_target(self):
+        cfg = cfg_of("""
+            int main() {
+                vector<int> v(3, 0);
+                sort(v.begin(), v.end());
+                return 0;
+            }
+        """)
+        call = stmt_by_source(cfg, "sort")
+        assert "v" in call.weak_defs
+
+
+class TestProgramCFG:
+    SRC = """
+        vector<int> memo(1, 0);
+        int helper(int x) { return memo[x] + x; }
+        int main() {
+            int n;
+            cin >> n;
+            cout << helper(n) << "\\n";
+            return 0;
+        }
+    """
+
+    def test_one_cfg_per_function(self):
+        program = build_program_cfg(parse(self.SRC))
+        assert set(program.functions) == {"helper", "main"}
+        assert all(isinstance(cfg, FunctionCFG) for cfg in program)
+
+    def test_globals_are_recorded(self):
+        program = build_program_cfg(parse(self.SRC))
+        assert program.globals == {"memo"}
+        assert program.functions["helper"].globals == {"memo"}
+
+    def test_compound_statement_is_never_atomic(self):
+        cfg = cfg_of("int main() { if (1) { return 0; } return 1; }")
+        from repro.lang.cpp_ast import Block, If
+
+        assert not any(isinstance(s.node, (Block, If))
+                       for s in cfg.statements)

@@ -1,0 +1,228 @@
+"""Worklist dataflow: reaching defs, liveness, constants, reachability."""
+
+import pytest
+
+from repro.lang import parse
+from repro.lang.analysis import (
+    ENTRY_SID, ProgramCFG, UNKNOWN, constant_propagation, fold_expr,
+    liveness, reaching_definitions, unreachable_statements, use_def_chains,
+)
+
+
+def cfg_of(source, name="main"):
+    return ProgramCFG(parse(source)).functions[name]
+
+
+def sid_of(cfg, needle, role=None):
+    for stmt in cfg.statements:
+        if needle in stmt.source() and (role is None or stmt.role == role):
+            return stmt.sid
+    raise AssertionError(f"no statement matching {needle!r}")
+
+
+class TestReachingDefinitions:
+    def test_kill_and_gen(self):
+        cfg = cfg_of("""
+            int main() {
+                int a = 1;
+                a = 2;
+                cout << a << "\\n";
+                return 0;
+            }
+        """)
+        before, _ = reaching_definitions(cfg)
+        use = sid_of(cfg, "cout")
+        reaching = {(d.sid, d.kind) for d in before[use] if d.name == "a"}
+        assert reaching == {(sid_of(cfg, "a = 2"), "strong")}
+
+    def test_both_branches_reach_the_join(self):
+        cfg = cfg_of("""
+            int main() {
+                int a;
+                cin >> a;
+                int b = 0;
+                if (a > 0) { b = 1; } else { b = 2; }
+                cout << b << "\\n";
+                return 0;
+            }
+        """)
+        before, _ = reaching_definitions(cfg)
+        use = sid_of(cfg, "cout")
+        sids = {d.sid for d in before[use] if d.name == "b"}
+        assert sids == {sid_of(cfg, "b = 1"), sid_of(cfg, "b = 2")}
+
+    def test_params_and_globals_enter_at_boundary(self):
+        program = ProgramCFG(parse("""
+            vector<int> memo(1, 0);
+            int helper(int x) { return memo[x] + x; }
+            int main() { cout << helper(1) << "\\n"; return 0; }
+        """))
+        cfg = program.functions["helper"]
+        before, _ = reaching_definitions(cfg)
+        ret = sid_of(cfg, "return")
+        kinds = {(d.name, d.kind) for d in before[ret]}
+        assert ("x", "param") in kinds
+        assert ("memo", "global") in kinds
+        assert all(d.sid == ENTRY_SID for d in before[ret])
+
+    def test_use_def_chains_point_at_the_store(self):
+        cfg = cfg_of("""
+            int main() {
+                int a = 1;
+                cout << a << "\\n";
+                return 0;
+            }
+        """)
+        chains = use_def_chains(cfg)
+        use = sid_of(cfg, "cout")
+        sites = chains[(use, "a")]
+        assert {d.sid for d in sites} == {sid_of(cfg, "int a = 1")}
+
+
+class TestLiveness:
+    def test_dead_after_last_use(self):
+        cfg = cfg_of("""
+            int main() {
+                int a = 1;
+                cout << a << "\\n";
+                int b = 2;
+                cout << b << "\\n";
+                return 0;
+            }
+        """)
+        live_out, _ = liveness(cfg)
+        assert "a" not in live_out[sid_of(cfg, "cout << a")]
+        assert "a" in live_out[sid_of(cfg, "int a = 1")]
+
+    def test_loop_carried_liveness(self):
+        cfg = cfg_of("""
+            int main() {
+                int total = 0;
+                for (int i = 0; i < 3; i++) { total += i; }
+                cout << total << "\\n";
+                return 0;
+            }
+        """)
+        live_out, _ = liveness(cfg)
+        assert "total" in live_out[sid_of(cfg, "total +=")]
+
+    def test_globals_live_at_exit(self):
+        program = ProgramCFG(parse("""
+            vector<int> memo(1, 0);
+            int main() { memo[0] = 5; return 0; }
+        """))
+        cfg = program.functions["main"]
+        live_out, _ = liveness(cfg)
+        assert "memo" in live_out[sid_of(cfg, "memo[0] = 5")]
+
+    def test_by_ref_param_live_at_exit(self):
+        program = ProgramCFG(parse("""
+            void fill(vector<int>& v) { v.push_back(1); }
+            int main() {
+                vector<int> data;
+                fill(data);
+                cout << data[0] << "\\n";
+                return 0;
+            }
+        """))
+        cfg = program.functions["fill"]
+        live_out, _ = liveness(cfg)
+        assert "v" in live_out[sid_of(cfg, "push_back")]
+
+
+class TestConstants:
+    def test_fold_expr_truncating_division(self):
+        assert fold_expr(parse_expr("(-7) / 2")) == -3
+        assert fold_expr(parse_expr("(-7) % 2")) == -1
+        assert fold_expr(parse_expr("7 / 2")) == 3
+
+    def test_fold_expr_short_circuit(self):
+        assert fold_expr(parse_expr("1 || (x / 0)")) == 1
+        assert fold_expr(parse_expr("0 && (x / 0)")) == 0
+
+    def test_fold_expr_unknown_name(self):
+        assert fold_expr(parse_expr("x + 1")) is UNKNOWN
+
+    def test_constant_condition_is_proven(self):
+        cfg = cfg_of("""
+            int main() {
+                int n = 3;
+                if (n > 10) { cout << "big" << "\\n"; }
+                cout << "done" << "\\n";
+                return 0;
+            }
+        """)
+        const = constant_propagation(cfg)
+        cond = sid_of(cfg, "n > 10", role="cond")
+        assert const.const_conds[cond] == 0
+
+    def test_branch_join_loses_the_constant(self):
+        cfg = cfg_of("""
+            int main() {
+                int a;
+                cin >> a;
+                int b = 1;
+                if (a > 0) { b = 2; }
+                if (b > 0) { cout << "x" << "\\n"; }
+                return 0;
+            }
+        """)
+        const = constant_propagation(cfg)
+        cond = sid_of(cfg, "b > 0", role="cond")
+        assert cond not in const.const_conds
+
+    def test_input_is_never_constant(self):
+        cfg = cfg_of("""
+            int main() {
+                int n = 5;
+                cin >> n;
+                if (n == 5) { cout << "five" << "\\n"; }
+                return 0;
+            }
+        """)
+        const = constant_propagation(cfg)
+        assert sid_of(cfg, "n == 5", role="cond") not in const.const_conds
+
+
+class TestUnreachable:
+    def test_after_return(self):
+        cfg = cfg_of("""
+            int main() {
+                return 0;
+                cout << "never" << "\\n";
+            }
+        """)
+        dead = unreachable_statements(cfg)
+        assert sid_of(cfg, "never") in dead
+
+    def test_behind_constant_false_branch(self):
+        cfg = cfg_of("""
+            int main() {
+                if (0) { cout << "never" << "\\n"; }
+                cout << "always" << "\\n";
+                return 0;
+            }
+        """)
+        dead = unreachable_statements(cfg)
+        assert sid_of(cfg, "never") in dead
+        assert sid_of(cfg, "always") not in dead
+
+    def test_live_code_is_not_flagged(self):
+        cfg = cfg_of("""
+            int main() {
+                int n;
+                cin >> n;
+                if (n > 0) { cout << "pos" << "\\n"; }
+                return 0;
+            }
+        """)
+        assert not unreachable_statements(cfg) - {
+            s.sid for s in cfg.statements if s.role == "cond"}
+
+
+def parse_expr(text):
+    """Parse a lone expression via a wrapper statement."""
+    unit = parse("int main() { int sink = %s; return 0; }" % text)
+    cfg = ProgramCFG(unit).functions["main"]
+    decl = cfg.statements[0].node
+    return decl.declarators[0].init

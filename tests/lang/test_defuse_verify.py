@@ -1,0 +1,106 @@
+"""Def-use signatures: style and simplify transforms must preserve them."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.registry import TABLE1_TAGS, family_for_tag
+from repro.corpus.styles import Style
+from repro.lang import parse
+from repro.lang.analysis import (
+    DefUseMismatch, defuse_signature, verify_same_defuse,
+    verify_simplify_preserves,
+)
+
+
+class TestSignature:
+    def test_alpha_renaming_invariance(self):
+        a = parse("""
+            int main() {
+                int total = 0;
+                for (int i = 0; i < 5; i++) { total += i; }
+                cout << total << "\\n";
+                return 0;
+            }
+        """)
+        b = parse("""
+            int main() {
+                int acc = 0;
+                for (int k = 0; k < 5; k++) { acc += k; }
+                cout << acc << "\\n";
+                return 0;
+            }
+        """)
+        assert defuse_signature(a) == defuse_signature(b)
+
+    def test_simultaneous_introduction_is_order_free(self):
+        # `int len, m;` vs `int n, m;`: the multi-declarator introduces
+        # both names in one event, so raw-name sort order must not leak
+        # into the signature (tag I regression).
+        a = parse("""
+            int main() {
+                int len, m;
+                cin >> len >> m;
+                cout << m << len << "\\n";
+                return 0;
+            }
+        """)
+        b = parse("""
+            int main() {
+                int n, m;
+                cin >> n >> m;
+                cout << m << n << "\\n";
+                return 0;
+            }
+        """)
+        assert defuse_signature(a) == defuse_signature(b)
+
+    def test_different_dataflow_differs(self):
+        a = parse("int main() { int x; cin >> x; cout << x << \"\\n\"; "
+                  "return 0; }")
+        b = parse("int main() { int x = 1; cout << x << \"\\n\"; "
+                  "return 0; }")
+        assert defuse_signature(a) != defuse_signature(b)
+        with pytest.raises(DefUseMismatch):
+            verify_same_defuse(a, b, "negative")
+
+    def test_mismatch_message_is_actionable(self):
+        a = parse("int main() { int x = 1; cout << x << \"\\n\"; "
+                  "return 0; }")
+        b = parse("int f() { return 1; } int main() { return 0; }")
+        with pytest.raises(DefUseMismatch, match="function count"):
+            verify_same_defuse(a, b, "negative")
+
+
+class TestTransformsPreserve:
+    @pytest.mark.parametrize("tag", TABLE1_TAGS)
+    def test_styles_preserve_defuse_for_every_tag(self, tag):
+        family = family_for_tag(tag, scale=1.0, num_tests=2, seed=11)
+        for trial in range(3):
+            g1 = family.emit_solution(np.random.default_rng(trial),
+                                      Style(np.random.default_rng(
+                                          1000 + trial)))
+            g2 = family.emit_solution(np.random.default_rng(trial),
+                                      Style(np.random.default_rng(
+                                          2000 + trial)))
+            assert g1.variant == g2.variant
+            verify_same_defuse(parse(g1.source), parse(g2.source),
+                               label=f"{tag}/{g1.variant}")
+
+    @pytest.mark.parametrize("tag", TABLE1_TAGS)
+    def test_simplify_preserves_defuse_for_every_tag(self, tag):
+        family = family_for_tag(tag, scale=1.0, num_tests=2, seed=11)
+        rng = np.random.default_rng(3)
+        g = family.emit_solution(rng, Style(rng))
+        verify_simplify_preserves(parse(g.source))
+
+    def test_mp_families_preserve_too(self):
+        from repro.corpus.registry import mp_families
+
+        for family in mp_families(count=5, scale=1.0):
+            g1 = family.emit_solution(np.random.default_rng(7),
+                                      Style(np.random.default_rng(71)))
+            g2 = family.emit_solution(np.random.default_rng(7),
+                                      Style(np.random.default_rng(72)))
+            if g1.variant == g2.variant:
+                verify_same_defuse(parse(g1.source), parse(g2.source),
+                                   label=f"{family.tag}/{g1.variant}")

@@ -1,0 +1,194 @@
+"""Lint rules, exemptions, and the suppression baseline."""
+
+import json
+
+import pytest
+
+from repro.lang.analysis import Finding, LintBaseline, ProgramLint, RULES, \
+    lint_source
+
+#: one deliberately broken program that trips every rule
+BROKEN = r"""
+int main() {
+    int unused;
+    int x = 5;
+    x = 7;
+    int y;
+    cout << y << "\n";
+    int n = 3;
+    if (n > 10) {
+        cout << "big" << "\n";
+    }
+    cout << x << "\n";
+    return 0;
+    cout << "after" << "\n";
+}
+"""
+
+
+class TestRulesFire:
+    @pytest.mark.parametrize("rule", RULES)
+    def test_broken_fixture_trips_each_rule(self, rule):
+        findings = lint_source(BROKEN, context="fixture")
+        assert rule in {f.rule for f in findings}, (
+            f"rule {rule} did not fire on the broken fixture")
+
+    def test_findings_carry_location_and_source(self):
+        findings = lint_source(BROKEN, context="fixture")
+        unused = next(f for f in findings if f.rule == "unused-variable")
+        assert unused.function == "main"
+        assert "unused" in unused.source
+        assert unused.context == "fixture"
+        assert "fixture" in unused.render()
+        assert unused.to_dict()["rule"] == "unused-variable"
+
+    def test_rule_subset_restricts_output(self):
+        linter = ProgramLint(rules=("unused-variable",))
+        from repro.lang import parse
+
+        findings = linter.lint(parse(BROKEN))
+        assert {f.rule for f in findings} == {"unused-variable"}
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown lint rules"):
+            ProgramLint(rules=("made-up-rule",))
+
+
+class TestExemptions:
+    def test_clean_program_has_no_findings(self):
+        assert lint_source("""
+            int main() {
+                int n;
+                cin >> n;
+                long long total = 0;
+                for (int i = 0; i < n; i++) { total += i; }
+                cout << total << "\\n";
+                return 0;
+            }
+        """) == []
+
+    def test_while_true_literal_condition_is_idiomatic(self):
+        findings = lint_source("""
+            int main() {
+                int n;
+                cin >> n;
+                while (true) {
+                    if (n <= 0) { break; }
+                    n = n - 1;
+                }
+                cout << n << "\\n";
+                return 0;
+            }
+        """)
+        assert "constant-branch-condition" not in {f.rule for f in findings}
+
+    def test_cin_of_discarded_value_is_not_a_dead_store(self):
+        findings = lint_source("""
+            int main() {
+                int skip;
+                int keep;
+                cin >> skip >> keep;
+                cin >> skip;
+                cout << keep << "\\n";
+                return 0;
+            }
+        """)
+        assert "dead-store" not in {f.rule for f in findings}
+
+    def test_bare_container_decl_is_not_a_dead_store(self):
+        findings = lint_source("""
+            int main() {
+                string line;
+                cin >> line;
+                cout << line << "\\n";
+                return 0;
+            }
+        """)
+        assert "dead-store" not in {f.rule for f in findings}
+
+    def test_unreachable_suppresses_other_rules_on_the_same_stmt(self):
+        findings = lint_source("""
+            int main() {
+                int a = 1;
+                cout << a << "\\n";
+                return 0;
+                int dead_store_target = 9;
+            }
+        """)
+        by_rule = {}
+        for f in findings:
+            by_rule.setdefault(f.rule, []).append(f)
+        dead = by_rule.get("unreachable-statement", [])
+        assert any("dead_store_target" in f.source for f in dead)
+        assert not any("dead_store_target" in f.source
+                       for f in by_rule.get("dead-store", []))
+
+    def test_initialized_then_overwritten_scalar_is_a_dead_store(self):
+        findings = lint_source("""
+            int main() {
+                int x = 5;
+                x = 7;
+                cout << x << "\\n";
+                return 0;
+            }
+        """)
+        dead = [f for f in findings if f.rule == "dead-store"]
+        assert len(dead) == 1 and "x = 5" in dead[0].source
+
+
+class TestBaseline:
+    def entry(self, **overrides):
+        entry = {"rule": "dead-store", "context": "C/*",
+                 "reason": "intended double-store in the micro-variant"}
+        entry.update(overrides)
+        return entry
+
+    def test_roundtrip_and_split(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        LintBaseline(suppressions=[self.entry()]).save(path)
+        baseline = LintBaseline.load(path)
+        match = Finding("dead-store", "main", 3, "m", "x = 1;", "C/hash")
+        miss = Finding("dead-store", "main", 3, "m", "x = 1;", "D/hash")
+        other = Finding("unused-variable", "main", 3, "m", "int u;", "C/hash")
+        kept, suppressed = baseline.split([match, miss, other])
+        assert suppressed == [match]
+        assert kept == [miss, other]
+
+    def test_source_substring_narrows_the_match(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        LintBaseline(suppressions=[self.entry(source="x = 1")]).save(path)
+        baseline = LintBaseline.load(path)
+        assert baseline.match(
+            Finding("dead-store", "main", 1, "m", "x = 1;", "C/a"))
+        assert not baseline.match(
+            Finding("dead-store", "main", 1, "m", "y = 2;", "C/a"))
+
+    def test_empty_reason_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(
+            {"version": 1, "suppressions": [self.entry(reason="  ")]}))
+        with pytest.raises(ValueError, match="documented"):
+            LintBaseline.load(path)
+
+    def test_missing_fields_are_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(
+            {"version": 1, "suppressions": [{"rule": "dead-store"}]}))
+        with pytest.raises(ValueError, match="missing"):
+            LintBaseline.load(path)
+
+    def test_unsupported_version_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "suppressions": []}))
+        with pytest.raises(ValueError, match="version"):
+            LintBaseline.load(path)
+
+    def test_bundled_corpus_baseline_loads(self):
+        from pathlib import Path
+
+        import repro
+
+        bundled = Path(repro.__file__).parent / "corpus" / \
+            "lint_baseline.json"
+        baseline = LintBaseline.load(bundled)
+        assert isinstance(baseline.suppressions, list)

@@ -1,0 +1,173 @@
+"""Provably-dead mutants: the static proof AND the dynamic differential.
+
+The acceptance bar is two independent legs, both enforced here:
+
+1. every emitted mutant passes :func:`prove_dead` on its own re-parsed
+   source (liveness/reachability proof), and a *tampered* mutant fails
+   it — so the static leg cannot silently weaken;
+2. every emitted mutant is judge-equivalent to its original on >= 8
+   seeded inputs, and a semantically *different* program fails the
+   differential — so the dynamic leg cannot silently weaken either.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.judge import differential_check, seeded_inputs
+from repro.lang.analysis import (
+    MUTATION_KINDS, MutationProofError, generate_dead_mutants,
+    insertion_points, prove_dead,
+)
+from repro.lang.parser import parse
+
+SUM_PROGRAM = """
+int main() {
+    int n;
+    cin >> n;
+    long long total = 0;
+    for (int i = 0; i < n; i++) {
+        int v;
+        cin >> v;
+        total += v;
+    }
+    cout << total << "\\n";
+    return 0;
+}
+"""
+
+SUM_INPUTS = ["3\n1 2 3\n", "1\n10\n", "0\n", "5\n9 8 7 6 5\n",
+              "2\n-4 4\n", "4\n0 0 0 1\n", "1\n-1\n", "6\n1 1 1 1 1 1\n"]
+
+
+class TestGeneration:
+    def test_mutants_are_deterministic_in_seed(self):
+        a = generate_dead_mutants(SUM_PROGRAM, seed=7, count=4)
+        b = generate_dead_mutants(SUM_PROGRAM, seed=7, count=4)
+        assert [m.source for m in a] == [m.source for m in b]
+        c = generate_dead_mutants(SUM_PROGRAM, seed=8, count=4)
+        assert [m.source for m in a] != [m.source for m in c]
+
+    def test_mutants_are_distinct_and_differ_from_original(self):
+        mutants = generate_dead_mutants(SUM_PROGRAM, seed=1, count=4)
+        sources = [m.source for m in mutants]
+        assert len(set(sources)) == len(sources)
+        assert all(m.source != SUM_PROGRAM for m in mutants)
+
+    def test_every_kind_can_be_requested(self):
+        for kind in MUTATION_KINDS:
+            mutants = generate_dead_mutants(SUM_PROGRAM, seed=2, count=2,
+                                            kinds=(kind,))
+            assert mutants, f"no {kind} mutants generated"
+            assert {m.kind for m in mutants} == {kind}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown mutation kinds"):
+            generate_dead_mutants(SUM_PROGRAM, kinds=("live_store",))
+
+    def test_insertion_points_track_scope_and_liveness(self):
+        points = insertion_points(parse(SUM_PROGRAM))
+        assert points
+        for point in points:
+            assert set(point.dead) <= set(point.scope)
+            assert set(point.readable) <= set(point.scope)
+        # right after `cin >> n` the value of n is still needed
+        after_read_n = [p for p in points if "n" in p.scope
+                        and p.block_ordinal == 0 and p.index == 2]
+        assert all("n" not in p.dead for p in after_read_n)
+
+
+class TestStaticLeg:
+    def test_every_mutant_proves_dead_from_source(self):
+        for mutant in generate_dead_mutants(SUM_PROGRAM, seed=3, count=6):
+            proof = prove_dead(mutant)
+            assert proof["obligations"], "empty proof is not a proof"
+            assert all(o["proof"] in ("dead-store", "unreachable",
+                                      "constant-false-condition")
+                       for o in proof["obligations"])
+
+    def test_tampered_live_store_fails_the_proof(self):
+        mutants = generate_dead_mutants(SUM_PROGRAM, seed=4, count=4,
+                                        kinds=("dead_store",))
+        mutant = mutants[0]
+        # make the inserted store feed a later read: print the name it
+        # stored to right after the store -> the store becomes live
+        lines = mutant.source.splitlines()
+        proof = prove_dead(mutant)
+        name = proof["obligations"][0]["name"]
+        needle = f"{name} ="
+        at = next(i for i, line in enumerate(lines) if needle in line)
+        lines.insert(at + 1, f'cout << {name} << "\\n";')
+        tampered = dataclasses.replace(mutant, source="\n".join(lines))
+        with pytest.raises(MutationProofError, match="LIVE"):
+            prove_dead(tampered)
+
+    def test_tampered_true_branch_fails_the_proof(self):
+        mutants = generate_dead_mutants(SUM_PROGRAM, seed=5, count=6,
+                                        kinds=("dead_branch",))
+        mutant = mutants[0]
+        tampered = dataclasses.replace(
+            mutant, source=mutant.source.replace("if (0)", "if (1)", 1))
+        with pytest.raises(MutationProofError):
+            prove_dead(tampered)
+
+    def test_wrong_coordinates_fail_the_proof(self):
+        mutant = generate_dead_mutants(SUM_PROGRAM, seed=6, count=1)[0]
+        shifted = dataclasses.replace(mutant, block_ordinal=99)
+        with pytest.raises(MutationProofError):
+            prove_dead(shifted)
+
+
+class TestDynamicLeg:
+    def test_mutants_judge_equivalent_on_eight_inputs(self):
+        assert len(SUM_INPUTS) >= 8
+        for mutant in generate_dead_mutants(SUM_PROGRAM, seed=9, count=6):
+            report = differential_check(SUM_PROGRAM, mutant.source,
+                                        SUM_INPUTS)
+            assert report.equivalent, report.failures
+            assert report.inputs_run == len(SUM_INPUTS)
+
+    def test_semantic_change_fails_the_differential(self):
+        changed = SUM_PROGRAM.replace("total += v", "total += v + 1")
+        report = differential_check(SUM_PROGRAM, changed, SUM_INPUTS)
+        assert not report.equivalent
+        assert any(f["reason"] == "stdout mismatch"
+                   for f in report.failures)
+
+    def test_runtime_error_counts_as_failure(self):
+        crashing = SUM_PROGRAM.replace("total += v",
+                                       "total += v / (v - v)")
+        report = differential_check(SUM_PROGRAM, crashing,
+                                    ["1\n5\n"])
+        assert not report.equivalent
+
+    def test_empty_inputs_are_rejected(self):
+        with pytest.raises(ValueError, match="at least one input"):
+            differential_check(SUM_PROGRAM, SUM_PROGRAM, [])
+
+
+class TestSeededInputs:
+    def test_deterministic_and_well_formed(self):
+        from repro.corpus.registry import family_for_tag
+
+        family = family_for_tag("C", scale=0.4, num_tests=3, seed=5)
+        a = seeded_inputs(family, count=8, seed=77)
+        b = seeded_inputs(family, count=8, seed=77)
+        assert a == b and len(a) == 8
+        assert all(isinstance(text, str) and text for text in a)
+        assert seeded_inputs(family, count=8, seed=78) != a
+
+    def test_generated_solutions_accept_the_inputs(self):
+        import numpy as np
+
+        from repro.corpus.registry import family_for_tag
+        from repro.corpus.styles import Style
+
+        family = family_for_tag("C", scale=0.4, num_tests=3, seed=5)
+        rng = np.random.default_rng(0)
+        solution = family.emit_solution(rng, Style(rng))
+        inputs = seeded_inputs(family, count=8)
+        report = differential_check(solution.source, solution.source,
+                                    inputs)
+        assert report.equivalent, report.failures

@@ -55,7 +55,7 @@ def wait_until(predicate, timeout=20.0, interval=0.05, message="condition"):
     while time.monotonic() < deadline:
         if predicate():
             return
-        time.sleep(interval)
+        time.sleep(interval)  # archlint: allow-sleep (bounded poll, not a synchronization wait)
     raise AssertionError(f"timed out waiting for {message}")
 
 
@@ -161,6 +161,20 @@ class TestClusterEquivalence:
         stats = probe(f"{host}:{port}")
         assert stats["shards"] == 2
         assert len(stats["workers"]) == 2
+
+    def test_stats_op_is_cluster_aggregated(self, server):
+        # plain `stats` is an admin op answered by the supervisor with
+        # the same aggregated snapshot as `cluster_stats`; a per-worker
+        # counter dump would be misleading behind the round-robin router
+        with ClusterClient(server.address) as client:
+            reply = client.request({"op": "stats"})
+            assert reply["ok"] is True
+            stats = reply["stats"]
+            assert stats["shards"] == 2
+            assert len(stats["workers"]) == 2
+            assert "totals" in stats and "counters" in stats
+            admin = client.request({"op": "cluster_stats"})["stats"]
+            assert set(stats) == set(admin)
 
 
 class TestShardAffinity:

@@ -1,0 +1,141 @@
+"""Architecture lint: green on the tree, red on each seeded violation."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def load_archlint():
+    spec = importlib.util.spec_from_file_location(
+        "archlint", REPO_ROOT / "tools" / "archlint.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("archlint", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+archlint = load_archlint()
+
+
+class TestTreeIsClean:
+    def test_repository_has_no_violations(self):
+        violations = archlint.scan(REPO_ROOT)
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_cli_exit_code_is_zero(self, capsys):
+        assert archlint.main(["--root", str(REPO_ROOT)]) == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+
+class TestSeededViolations:
+    """Each rule must catch a deliberately planted violation."""
+
+    def seed(self, tmp_path, rel, source):
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        return tmp_path
+
+    def test_optimizer_step_outside_engine_is_caught(self, tmp_path):
+        root = self.seed(tmp_path, "src/repro/train_quickly.py", """
+def sneaky_training(model, optimizer, batches):
+    for batch in batches:
+        model.backward(batch)
+        optimizer.step()
+""")
+        rules = {v.rule for v in archlint.scan(root)}
+        assert "training-loop-outside-engine" in rules
+
+    def test_epoch_range_loop_outside_engine_is_caught(self, tmp_path):
+        root = self.seed(tmp_path, "src/repro/driver.py", """
+def run(n):
+    for epoch in range(n):
+        print(epoch)
+""")
+        rules = {v.rule for v in archlint.scan(root)}
+        assert "training-loop-outside-engine" in rules
+
+    def test_reduceat_outside_backend_is_caught(self, tmp_path):
+        root = self.seed(tmp_path, "src/repro/nn/fast_path.py", """
+import numpy as np
+
+def pool(data, starts):
+    return np.add.reduceat(data, starts, axis=0)
+""")
+        rules = {v.rule for v in archlint.scan(root)}
+        assert "kernel-outside-backend" in rules
+
+    def test_sleep_in_serve_tests_is_caught(self, tmp_path):
+        root = self.seed(tmp_path, "tests/serve/test_lazy.py", """
+import time
+
+def test_eventually():
+    time.sleep(2.0)
+""")
+        rules = {v.rule for v in archlint.scan(root)}
+        assert "sleep-in-serve-tests" in rules
+
+    def test_cli_exit_code_is_one_on_violation(self, tmp_path, capsys):
+        root = self.seed(tmp_path, "src/repro/driver.py",
+                         "def f(o):\n    o.opt.step()\n")
+        assert archlint.main(["--root", str(root)]) == 1
+        assert "training-loop-outside-engine" in capsys.readouterr().out
+
+
+class TestScopingAndPragmas:
+    def seed(self, tmp_path, rel, source):
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        return tmp_path
+
+    def test_engine_loop_itself_is_allowed(self, tmp_path):
+        root = self.seed(tmp_path, "src/repro/engine/loop.py", """
+def train(self, cfg, state):
+    for epoch in range(state.epoch, cfg.epochs):
+        self.optimizer.step()
+""")
+        assert archlint.scan(root) == []
+
+    def test_backend_reduceat_is_allowed(self, tmp_path):
+        root = self.seed(tmp_path, "src/repro/nn/backend.py", """
+import numpy as np
+
+def segment_sum(data, starts):
+    return np.add.reduceat(data, starts, axis=0)
+""")
+        assert archlint.scan(root) == []
+
+    def test_allow_sleep_pragma_is_honoured(self, tmp_path):
+        root = self.seed(tmp_path, "tests/serve/test_poll.py", """
+import time
+
+def wait_until(predicate):
+    while not predicate():
+        time.sleep(0.05)  # archlint: allow-sleep (bounded poll)
+""")
+        assert archlint.scan(root) == []
+
+    def test_unit_tests_may_step_optimizers(self, tmp_path):
+        # the training-loop rule is a product-code (src/) invariant;
+        # optimizer unit tests under tests/ are out of scope
+        root = self.seed(tmp_path, "tests/serve/test_opt.py",
+                         "def test_step(opt):\n    opt.step()\n")
+        assert archlint.scan(root) == []
+
+    def test_docstrings_and_comments_cannot_trip_rules(self, tmp_path):
+        root = self.seed(tmp_path, "src/repro/notes.py", '''
+"""This module documents np.add.reduceat and optimizer.step()."""
+# for epoch in range(10): optimizer.step()
+VALUE = 1
+''')
+        assert archlint.scan(root) == []
+
+    def test_syntax_error_is_reported_not_crashed(self, tmp_path):
+        root = self.seed(tmp_path, "src/repro/broken.py", "def f(:\n")
+        violations = archlint.scan(root)
+        assert [v.rule for v in violations] == ["syntax-error"]

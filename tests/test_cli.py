@@ -40,6 +40,65 @@ class TestCollectAndStats:
         assert out.exists()
 
 
+class TestLintCorpus:
+    def test_generated_sample_is_clean(self, capsys):
+        assert main(["lint-corpus", "--tags", "C", "--per-problem", "3",
+                     "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "0 unsuppressed finding(s)" in out
+
+    def test_db_mode_lints_collected_corpus(self, workspace, capsys):
+        _, db_path = workspace
+        assert main(["lint-corpus", "--db", str(db_path)]) == 0
+        assert "14 programs" in capsys.readouterr().out
+
+    def test_json_report_shape(self, capsys):
+        assert main(["lint-corpus", "--tags", "C", "--per-problem", "2",
+                     "--scale", "0.3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["programs"] == 2
+        assert payload["unsuppressed"] == []
+
+    def test_findings_gate_the_exit_code(self, tmp_path, capsys,
+                                         monkeypatch):
+        # sabotage one generated program: the gate must exit 1 and name
+        # the finding; a matching suppression must bring it back to 0
+        from repro.corpus.registry import family_for_tag
+
+        family_cls = type(family_for_tag("C", scale=0.3))
+        original = family_cls.emit_solution
+
+        def sabotaged(self, rng, style):
+            solution = original(self, rng, style)
+            broken = solution.source.replace(
+                "int main() {",
+                "int main() {\n    int cli_gate_probe;", 1)
+            return type(solution)(source=broken, variant=solution.variant,
+                                  knobs=solution.knobs)
+
+        monkeypatch.setattr(family_cls, "emit_solution", sabotaged)
+        assert main(["lint-corpus", "--tags", "C", "--per-problem", "1",
+                     "--scale", "0.3"]) == 1
+        assert "cli_gate_probe" in capsys.readouterr().out
+
+        suppressions = tmp_path / "baseline.json"
+        suppressions.write_text(json.dumps({"version": 1, "suppressions": [
+            {"rule": "unused-variable", "context": "C/*",
+             "source": "cli_gate_probe",
+             "reason": "test fixture: deliberately planted finding"}]}))
+        assert main(["lint-corpus", "--tags", "C", "--per-problem", "1",
+                     "--scale", "0.3", "--baseline",
+                     str(suppressions)]) == 0
+        assert "1 suppressed" in capsys.readouterr().out
+
+    def test_collect_lint_flag(self, tmp_path, capsys):
+        out = tmp_path / "linted.jsonl"
+        assert main(["collect", "--tags", "C", "--per-problem", "2",
+                     "--scale", "0.3", "--lint", "--out", str(out)]) == 0
+        assert "lint gate on" in capsys.readouterr().out
+        assert out.exists()
+
+
 class TestTrainAndPredict:
     @pytest.fixture(scope="class")
     def model_path(self, workspace):

@@ -5,12 +5,21 @@ import json
 
 import pytest
 
-from benchmarks.trend_check import check_drift, load_series, main
+from benchmarks.trend_check import (
+    CHAOS_BENCH, chaos_points, check_drift, load_series, main,
+)
 
 
 def _artifact(tmp_path, pr, means: dict):
     payload = {"benchmarks": [{"name": name, "stats": {"mean": mean}}
                               for name, mean in means.items()]}
+    (tmp_path / f"BENCH_PR{pr}.json").write_text(json.dumps(payload))
+
+
+def _chaos_artifact(tmp_path, pr, answered=100, wall_s=1.25, **extra):
+    payload = {"pr": pr, "scenario": "cluster_chaos_load",
+               "answered": answered, "wall_s": wall_s}
+    payload.update(extra)
     (tmp_path / f"BENCH_PR{pr}.json").write_text(json.dumps(payload))
 
 
@@ -36,6 +45,42 @@ class TestLoadSeries:
             {"benchmarks": [{"name": "a"}, {"stats": {"mean": 1.0}},
                             {"name": "b", "stats": {"mean": 0.5}}]}))
         assert load_series(tmp_path) == {"b": [(2, 0.5)]}
+
+
+class TestChaosSchema:
+    def test_chaos_artifact_contributes_seconds_per_request(self, tmp_path):
+        _chaos_artifact(tmp_path, 6, answered=100, wall_s=1.25)
+        series = load_series(tmp_path)
+        assert series == {CHAOS_BENCH: [(6, pytest.approx(0.0125))]}
+
+    def test_throughput_fallback_when_wall_missing(self):
+        points = chaos_points({"scenario": "cluster_chaos_load",
+                               "throughput_rps": 80.0})
+        assert points == {CHAOS_BENCH: pytest.approx({CHAOS_BENCH: 0.0125}
+                                                     [CHAOS_BENCH])}
+
+    def test_other_scenarios_and_zero_counts_are_skipped(self):
+        assert chaos_points({"scenario": "other", "wall_s": 1.0,
+                             "answered": 10}) == {}
+        assert chaos_points({"scenario": "cluster_chaos_load",
+                             "wall_s": 1.0, "answered": 0}) == {}
+
+    def test_chaos_series_joins_drift_detection(self, tmp_path):
+        # three flat chaos points then one 3x-slower -> regression
+        for pr, wall in enumerate([1.0, 1.0, 1.0, 3.0], start=1):
+            _chaos_artifact(tmp_path, pr, answered=100, wall_s=wall)
+        findings = check_drift(load_series(tmp_path))
+        assert [f["kind"] for f in findings] == ["regression"]
+        assert findings[0]["name"] == CHAOS_BENCH
+
+    def test_repo_chaos_artifact_is_tracked(self):
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[1]
+        series = load_series(repo_root)
+        assert CHAOS_BENCH in series
+        prs = [pr for pr, _ in series[CHAOS_BENCH]]
+        assert 6 in prs
 
 
 class TestCheckDrift:

@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Architecture lint: enforce the repo's layering invariants by AST.
+
+The invariants (see ROADMAP.md "architecture invariants") are easy to
+violate silently — a stray ``optimizer.step()`` in a driver quietly
+forks the training loop, a hand-rolled ``reduceat`` bypasses the
+backend's dtype policy, a ``time.sleep`` in a serve test reintroduces
+the wall-clock flakiness the fault-plan work removed. This tool walks
+every Python file with :mod:`ast` (comments and docstrings cannot trip
+it) and fails CI on:
+
+``training-loop-outside-engine``
+    In ``src/``, an optimizer/scheduler ``.step()`` call or a
+    ``for ... in range(...)`` epoch loop anywhere but
+    ``src/repro/engine/loop.py``. All training steps through the one
+    engine loop — that is what makes checkpoint/resume bitwise.
+``kernel-outside-backend``
+    In ``src/``, a ``reduceat`` kernel outside
+    ``src/repro/nn/backend.py`` / ``src/repro/nn/_numba_kernels.py``.
+    Hot kernels live behind the backend so dtype policy and JIT
+    dispatch stay in one place.
+``sleep-in-serve-tests``
+    A ``time.sleep`` call under ``tests/serve/`` — serve tests are
+    driven by seeded fault plans, not wall-clock waits. A genuinely
+    bounded poll may carry a same-line ``# archlint: allow-sleep``
+    pragma with a reason.
+
+Usage::
+
+    python tools/archlint.py [--root DIR] [--json]
+
+Exit status 0 when clean, 1 when any violation is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Violation", "check_source", "scan", "main", "RULES"]
+
+RULES = ("training-loop-outside-engine", "kernel-outside-backend",
+         "sleep-in-serve-tests")
+
+#: the one file allowed to drive optimizer steps and epoch loops
+_ENGINE_LOOP = "src/repro/engine/loop.py"
+#: the only homes for the reduceat kernel
+_KERNEL_HOMES = frozenset({"src/repro/nn/backend.py",
+                           "src/repro/nn/_numba_kernels.py"})
+#: receivers whose ``.step()`` is a training-loop step
+_STEP_RECEIVERS = ("opt", "sched")
+_PRAGMA = "# archlint: allow-"
+
+
+@dataclass(frozen=True)
+class Violation:
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "message": self.message}
+
+
+def _receiver_name(node: ast.expr) -> str:
+    """Trailing identifier of an attribute chain (``a.b.opt`` -> opt)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _is_step_call(call: ast.Call) -> bool:
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "step"):
+        return False
+    receiver = _receiver_name(func.value).lower()
+    return any(marker in receiver for marker in _STEP_RECEIVERS)
+
+
+def _is_epoch_range_loop(node: ast.For) -> bool:
+    if not (isinstance(node.iter, ast.Call)
+            and isinstance(node.iter.func, ast.Name)
+            and node.iter.func.id == "range"):
+        return False
+    target = node.target
+    return isinstance(target, ast.Name) and "epoch" in target.id.lower()
+
+
+def _is_sleep_call(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr == "sleep":
+        return True
+    return isinstance(func, ast.Name) and func.id == "sleep"
+
+
+def _allowed(lines: list[str], lineno: int, rule_suffix: str) -> bool:
+    if not 1 <= lineno <= len(lines):
+        return False
+    return f"{_PRAGMA}{rule_suffix}" in lines[lineno - 1]
+
+
+def check_source(rel_path: str, source: str) -> list[Violation]:
+    """All violations in one file, given its path relative to the root."""
+    rel = Path(rel_path).as_posix()
+    in_src = rel.startswith("src/")
+    in_serve_tests = rel.startswith("tests/serve/")
+    if not (in_src or in_serve_tests):
+        return []
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [Violation("syntax-error", rel, error.lineno or 0,
+                          str(error))]
+    lines = source.splitlines()
+    violations: list[Violation] = []
+    for node in ast.walk(tree):
+        if in_src and rel != _ENGINE_LOOP:
+            if isinstance(node, ast.Call) and _is_step_call(node):
+                violations.append(Violation(
+                    "training-loop-outside-engine", rel, node.lineno,
+                    "optimizer/scheduler .step() outside the engine "
+                    "loop; route training through repro.engine"))
+            if isinstance(node, ast.For) and _is_epoch_range_loop(node):
+                violations.append(Violation(
+                    "training-loop-outside-engine", rel, node.lineno,
+                    "epoch range() loop outside the engine loop; route "
+                    "training through repro.engine"))
+        if in_src and rel not in _KERNEL_HOMES:
+            if isinstance(node, ast.Attribute) and node.attr == "reduceat":
+                violations.append(Violation(
+                    "kernel-outside-backend", rel, node.lineno,
+                    "reduceat kernel outside repro.nn.backend; hot "
+                    "kernels go through the ops backend"))
+        if in_serve_tests:
+            if (isinstance(node, ast.Call) and _is_sleep_call(node)
+                    and not _allowed(lines, node.lineno, "sleep")):
+                violations.append(Violation(
+                    "sleep-in-serve-tests", rel, node.lineno,
+                    "time.sleep in a serve test; use seeded FaultPlans "
+                    "(or annotate a bounded poll with "
+                    "'# archlint: allow-sleep <reason>')"))
+    return violations
+
+
+def scan(root: Path) -> list[Violation]:
+    """Scan every ``.py`` file under ``root``'s src/ and tests/serve/."""
+    root = Path(root)
+    violations: list[Violation] = []
+    for subdir in ("src", "tests/serve"):
+        base = root / subdir
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            violations.extend(check_source(rel, path.read_text()))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: this file's parent's "
+                             "parent)")
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+    root = Path(args.root) if args.root else Path(__file__).parent.parent
+    violations = scan(root)
+    if args.json:
+        print(json.dumps([v.to_dict() for v in violations], indent=2))
+    else:
+        for violation in violations:
+            print(violation.render())
+        print(f"archlint: {len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
