@@ -37,6 +37,27 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 DEFAULT_BACKEND = "numpy64"
 
 
+def machine_fingerprint() -> dict:
+    """Identity stamp for the machine that produced an artifact.
+
+    Benchmarks from different machines are not comparable points on one
+    trend line; ``trend_check.py --strict`` uses this stamp to restrict
+    each series to same-machine history. The hostname is hashed — the
+    artifact is committed to the repo, and the identity only needs to be
+    *stable*, not readable.
+    """
+    import hashlib
+    import socket
+
+    import numpy
+
+    host = hashlib.sha256(socket.gethostname().encode()).hexdigest()[:12]
+    cpus = os.cpu_count() or 0
+    return {"hostname_hash": host, "cpu_count": cpus,
+            "numpy": numpy.__version__,
+            "fingerprint": f"{host}-c{cpus}-np{numpy.__version__}"}
+
+
 def _available_backends() -> list[str]:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     try:
@@ -75,6 +96,7 @@ def _merge(parts: dict[str, Path], out: Path) -> None:
             merged["backends"] = list(parts)
         else:
             merged["benchmarks"].extend(payload.get("benchmarks", []))
+    merged["machine"] = machine_fingerprint()
     out.write_text(json.dumps(merged, indent=2) + "\n")
 
 

@@ -39,7 +39,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 _ARTIFACT = re.compile(r"BENCH_PR(\d+)\.json$")
 
-__all__ = ["load_series", "check_drift", "chaos_points", "main"]
+__all__ = ["load_series", "load_machines", "check_drift", "chaos_points",
+           "main"]
 
 #: synthetic benchmark name for the chaos-load artifact's throughput
 CHAOS_BENCH = "cluster_chaos_load::s_per_request"
@@ -108,18 +109,57 @@ def load_series(root: Path) -> dict[str, list[tuple[int, float]]]:
     return series
 
 
+def load_machines(root: Path) -> dict[int, str]:
+    """``pr -> machine fingerprint`` for every stamped artifact.
+
+    ``run_microbench.py`` stamps a ``machine.fingerprint`` string
+    (hashed hostname + CPU count + numpy version) into each artifact;
+    older artifacts predate the stamp and simply don't appear here.
+    """
+    machines: dict[int, str] = {}
+    for path in sorted(Path(root).glob("BENCH_PR*.json")):
+        match = _ARTIFACT.search(path.name)
+        if not match:
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(payload, dict):
+            continue
+        machine = payload.get("machine")
+        if isinstance(machine, dict):
+            fingerprint = machine.get("fingerprint")
+            if isinstance(fingerprint, str) and fingerprint:
+                machines[int(match.group(1))] = fingerprint
+    return machines
+
+
 def check_drift(series: dict[str, list[tuple[int, float]]],
                 min_history: int = 3, band_mads: float = 4.0,
-                band_floor: float = 0.25) -> list[dict]:
+                band_floor: float = 0.25,
+                machines: dict[int, str] | None = None) -> list[dict]:
     """Findings for every benchmark whose newest point leaves the band.
 
     ``min_history`` earlier points are required before judging (fewer
     and the artifact is still establishing its baseline). Each finding
     carries ``kind`` (``"regression"`` or ``"improvement"``), the
     offending PR/mean, and the band it left.
+
+    When ``machines`` is given (``pr -> fingerprint``, see
+    :func:`load_machines`), each series' history is restricted to points
+    produced on the **same machine** as its newest point — a hardware
+    change would otherwise read as a perf cliff. A newest point with no
+    fingerprint (pre-stamp artifact) keeps the full history, since
+    nothing can be attributed either way.
     """
     findings = []
     for name, points in sorted(series.items()):
+        if machines:
+            latest_fp = machines.get(points[-1][0])
+            if latest_fp is not None:
+                points = [(pr, mean) for pr, mean in points
+                          if machines.get(pr) == latest_fp]
         if len(points) < min_history + 1:
             continue
         history = [mean for _, mean in points[:-1]]
@@ -151,15 +191,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--band-floor", type=float, default=0.25,
                         help="relative floor on the band half-width")
     parser.add_argument("--strict", action="store_true",
-                        help="exit 1 when a regression is flagged")
+                        help="exit 1 when a regression is flagged; also "
+                             "restricts each history to artifacts from "
+                             "the newest point's machine")
     parser.add_argument("--json", action="store_true",
                         help="emit findings as JSON instead of text")
     args = parser.parse_args(argv)
 
     series = load_series(args.root)
+    machines = load_machines(args.root) if args.strict else None
     findings = check_drift(series, min_history=args.min_history,
                            band_mads=args.band_mads,
-                           band_floor=args.band_floor)
+                           band_floor=args.band_floor,
+                           machines=machines)
     regressions = [f for f in findings if f["kind"] == "regression"]
     if args.json:
         print(json.dumps({"benchmarks_tracked": len(series),

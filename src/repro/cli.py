@@ -207,7 +207,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--stats-every", type=float, default=0.0,
                        metavar="SECONDS",
                        help="cluster mode: emit an aggregated stats "
-                            "JSONL line to stderr every N seconds")
+                            "JSONL line (incl. the obs-registry metrics "
+                            "snapshot) to stderr every N seconds")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="serve a Prometheus-format scrape endpoint "
+                            "on this HTTP port (GET /metrics; "
+                            "/metrics.json for the JSON variant); works "
+                            "in both single-process and cluster mode")
     serve.add_argument("--seed", type=int, default=0,
                        help="cluster mode: seed for supervised-restart "
                             "backoff jitter")
@@ -493,13 +500,17 @@ def _cmd_serve_cluster(args) -> int:
     server = ClusterServer(
         args.model, workers=args.workers, host=host or "127.0.0.1",
         port=int(port), config=config,
-        stats_stream=sys.stderr if args.stats_every > 0 else None)
+        stats_stream=sys.stderr if args.stats_every > 0 else None,
+        metrics_port=args.metrics_port)
     with server:
         server.start()
         bound_host, bound_port = server.address
         watching = " (hot-swap watch on)" if args.watch else ""
+        scraping = (f" metrics on :{server.metrics_server.port}"
+                    if server.metrics_server is not None else "")
         print(f"cluster: {args.workers} workers on "
-              f"{bound_host}:{bound_port}{watching}", file=sys.stderr)
+              f"{bound_host}:{bound_port}{watching}{scraping}",
+              file=sys.stderr)
         server.serve_forever()
     if args.stats:
         print(json.dumps(server.supervisor.stats(), indent=2),
@@ -523,6 +534,12 @@ def _cmd_serve(args) -> int:
         args.model, cast=args.cast, max_batch=args.max_batch,
         cache_size=args.cache_size,
         cache_max_nodes=args.cache_max_nodes, threaded=False)
+    metrics_server = None
+    if args.metrics_port is not None:
+        from .obs.expose import MetricsHTTPServer
+        metrics_server = MetricsHTTPServer(service.metrics_snapshot,
+                                           port=args.metrics_port)
+        print(f"metrics on :{metrics_server.port}", file=sys.stderr)
     with service:
         if args.requests is not None:
             # Bulk mode: pre-encode every distinct tree of the file in
@@ -557,6 +574,8 @@ def _cmd_serve(args) -> int:
                 sys.stdout.flush()
         if args.stats:
             print(json.dumps(service.stats(), indent=2), file=sys.stderr)
+    if metrics_server is not None:
+        metrics_server.close()
     return 0
 
 

@@ -136,7 +136,7 @@ class ProgressLogger(Callback):
                f"loss={state.history.losses[-1]:.4f}")
         if state.val_accuracy is not None:
             msg += f" val_acc={state.history.val_accuracies[-1]:.3f}"
-        print(msg)
+        print(msg)  # archlint: allow-print (the progress line IS the feature)
 
 
 class Checkpointing(Callback):

@@ -21,6 +21,7 @@ the same final weights, history, and logits as the uninterrupted run.
 
 from __future__ import annotations
 
+import time
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
@@ -90,6 +91,10 @@ class EngineState:
     batch_index: int = -1
     last_loss: float = float("nan")
     last_grad_norm: float = float("nan")
+    # wall time of the last optimizer step (forward+backward+clip+step),
+    # read by telemetry callbacks; purely observational, never fed back
+    # into training
+    last_step_s: float = 0.0
     epoch_loss: float = float("nan")
     val_accuracy: float | None = None
 
@@ -255,6 +260,7 @@ class Engine:
             for idx in iter_index_batches(len(prepared), cfg.batch_size,
                                           rng=self.rng, shuffle=True):
                 batch = [prepared[int(k)] for k in idx]
+                step_started = time.perf_counter()
                 # Pool-aware zero_grad: last step's gradient arrays go
                 # back to the backend's buffer pool (deferred to the
                 # start of the *next* batch so on_batch_end callbacks can
@@ -267,6 +273,7 @@ class Engine:
                 state.batch_index = batches
                 state.last_loss = batch_loss
                 state.last_grad_norm = norm
+                state.last_step_s = time.perf_counter() - step_started
                 epoch_loss += state.last_loss
                 batches += 1
                 self._emit("on_batch_end")

@@ -1,0 +1,164 @@
+"""Exposition: registry snapshots → Prometheus text / JSON, plus a
+tiny stdlib HTTP scrape server.
+
+The functions here work on *snapshots* (the plain dicts produced by
+``MetricsRegistry.snapshot()`` / ``obs.metrics.merge``), not live
+registries — that is what lets the cluster supervisor merge worker
+snapshots first and expose one coherent view, and what lets the
+``metrics`` JSONL op and the HTTP endpoint share one code path.
+
+Formats:
+
+* :func:`to_prometheus` — the classic text format (``# HELP`` /
+  ``# TYPE`` lines, ``_bucket{le=...}`` cumulative histogram rows plus
+  ``_sum``/``_count``).
+* :func:`to_json` — the same snapshot, passed through (it is already
+  JSON-able); kept as a function so callers don't reach into the
+  snapshot schema directly.
+
+The HTTP server is deliberately minimal: stdlib ``ThreadingHTTPServer``
+in a daemon thread, two routes (``/metrics`` text, ``/metrics.json``),
+pull-based, no auth — it binds localhost by default and is meant for a
+Prometheus scraper sitting next to the process (see
+``docs/observability.md`` for the scrape config).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = ["to_prometheus", "to_json", "MetricsHTTPServer"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _format_labels(names, values) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(f'{n}="{_escape_label(v)}"'
+                     for n, v in zip(names, values))
+    return "{" + pairs + "}"
+
+
+def _format_value(value: float) -> str:
+    # Prometheus wants plain decimals; ints stay ints for readability.
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _bucket_label(names, values, le: str) -> str:
+    pairs = [f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)]
+    pairs.append(f'le="{le}"')
+    return "{" + ",".join(pairs) + "}"
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot in the Prometheus text format."""
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        payload = snapshot[name]
+        kind = payload.get("type", "untyped")
+        help_text = payload.get("help", "")
+        labelnames = payload.get("labels", [])
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labelvalues, dumped in sorted(
+                payload.get("values", []),
+                key=lambda row: [str(v) for v in row[0]]):
+            if kind == "histogram":
+                bounds = payload.get("buckets", [])
+                counts = dumped["counts"]
+                cumulative = 0
+                for bound, count in zip(bounds, counts):
+                    cumulative += count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_bucket_label(labelnames, labelvalues, _format_value(bound))}"
+                        f" {cumulative}")
+                cumulative += counts[len(bounds)] if len(counts) > len(bounds) else 0
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_bucket_label(labelnames, labelvalues, '+Inf')}"
+                    f" {cumulative}")
+                lines.append(
+                    f"{name}_sum{_format_labels(labelnames, labelvalues)}"
+                    f" {_format_value(dumped['sum'])}")
+                lines.append(
+                    f"{name}_count{_format_labels(labelnames, labelvalues)}"
+                    f" {dumped['count']}")
+            else:
+                lines.append(
+                    f"{name}{_format_labels(labelnames, labelvalues)}"
+                    f" {_format_value(dumped)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def to_json(snapshot: dict) -> dict:
+    """The JSON variant of the exposition (snapshot passes through)."""
+    return snapshot
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-metrics/1"
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        collect = self.server.collect_snapshot
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            body = to_prometheus(collect()).encode("utf-8")
+            ctype = PROMETHEUS_CONTENT_TYPE
+        elif path == "/metrics.json":
+            body = (json.dumps(to_json(collect()), sort_keys=True)
+                    .encode("utf-8"))
+            ctype = "application/json"
+        else:
+            self.send_error(404, "try /metrics or /metrics.json")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt, *args):
+        # scrapes are periodic; stderr noise helps nobody.
+        pass
+
+
+class MetricsHTTPServer:
+    """Daemon-thread HTTP scrape endpoint.
+
+    ``collect`` is a zero-arg callable returning a snapshot dict; it is
+    invoked per scrape, so the served view is always current (and, in
+    the cluster, includes freshly merged worker snapshots).
+    """
+
+    def __init__(self, collect, host: str = "127.0.0.1",
+                 port: int = 0):
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.collect_snapshot = collect
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-metrics-http",
+            daemon=True)
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)

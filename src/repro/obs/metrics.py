@@ -1,0 +1,429 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+This is the substrate every serving and training counter in the repo
+lives on (ROADMAP item 5's "scrape endpoint" work). Design constraints,
+in order:
+
+* **dependency-free** — no prometheus_client; the exposition formats
+  live in :mod:`repro.obs.expose`.
+* **thread-safe** — the serving tier increments from client threads,
+  the batcher worker, and the supervisor's housekeeping loop at once.
+  Each family owns one lock; children cache their slot so the hot path
+  is one lock acquire + one float add.
+* **snapshot/merge-able** — a worker process snapshots its registry to
+  a plain JSON-able dict; the supervisor merges shard snapshots into
+  one cluster view exactly the way ``cluster_stats`` merges ``stats()``
+  dicts today (counters sum, ``max``-gauges max, histograms add
+  bucket-wise). :func:`relabel` stamps a ``shard`` label onto a worker
+  snapshot before the merge so per-shard series survive aggregation.
+* **view-friendly** — the pre-existing ``stats()`` dicts are now thin
+  views over registry values, so every historical key keeps working.
+
+Metric naming follows the Prometheus conventions (see
+``docs/observability.md``): ``repro_<subsystem>_<name>_<unit>``,
+counters end in ``_total``, histograms carry base-unit seconds.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "merge", "relabel", "LATENCY_BUCKETS_S",
+]
+
+#: default fixed buckets for request/step latency histograms (seconds).
+#: Spans 100 us to 10 s: the warm-cache serve path sits in the lowest
+#: buckets, a cold fused encode in the middle, training steps near the
+#: top. Fixed across the codebase so merged histograms always align.
+LATENCY_BUCKETS_S = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 10.0,
+)
+
+
+class _Family:
+    """Shared machinery: one named metric with zero or more label
+    dimensions; each distinct label-value tuple owns one child."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: tuple[str, ...] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], object] = {}
+
+    def labels(self, *values, **kv):
+        """The child for one label-value combination (created on first
+        use). Accepts positional values in ``labelnames`` order or
+        keywords; with no label dimensions, returns the single child."""
+        if kv:
+            if values:
+                raise ValueError("pass label values positionally or by "
+                                 "keyword, not both")
+            try:
+                values = tuple(str(kv.pop(n)) for n in self.labelnames)
+            except KeyError as error:
+                raise ValueError(f"{self.name}: missing label "
+                                 f"{error.args[0]!r}") from None
+            if kv:
+                raise ValueError(f"{self.name}: unknown label(s) "
+                                 f"{sorted(kv)}")
+        else:
+            values = tuple(str(v) for v in values)
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} has labels {list(self.labelnames)}; got "
+                f"{len(values)} value(s)")
+        # lock-free fast path: dict reads are atomic under the GIL, and
+        # children are only ever added, never replaced — the lock is
+        # just for the create race
+        child = self._children.get(values)
+        if child is None:
+            with self._lock:
+                child = self._children.get(values)
+                if child is None:
+                    child = self._children[values] = self._new_child()
+        return child
+
+    def _new_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    # -- snapshot ------------------------------------------------------
+    def _meta(self) -> dict:
+        return {"type": self.kind, "help": self.help,
+                "labels": list(self.labelnames)}
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            children = list(self._children.items())
+        payload = self._meta()
+        payload["values"] = [[list(values), child.dump()]
+                             for values, child in children]
+        return payload
+
+    def restore(self, payload: dict) -> None:
+        for values, dumped in payload.get("values", []):
+            self.labels(*values).load(dumped)
+
+
+class _CounterValue:
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self):
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def dump(self) -> float:
+        return self._value
+
+    def load(self, dumped: float) -> None:
+        with self._lock:
+            self._value = float(dumped)
+
+
+class Counter(_Family):
+    """Monotonically increasing count (``_total`` by convention)."""
+
+    kind = "counter"
+
+    def _new_child(self):
+        return _CounterValue()
+
+    # unlabeled convenience: family.inc() == family.labels().inc()
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self.labels().value
+
+
+class _GaugeValue:
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self):
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """High-water-mark update: keep the larger of old and new."""
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def dump(self) -> float:
+        return self._value
+
+    def load(self, dumped: float) -> None:
+        with self._lock:
+            self._value = float(dumped)
+
+
+class Gauge(_Family):
+    """Point-in-time value.
+
+    ``agg`` decides how :func:`merge` combines the same gauge across
+    process snapshots: ``"sum"`` (queue depths, held bytes), ``"max"``
+    (high-water marks), or ``"last"`` (uptime, build info — the merged
+    value is whichever snapshot came last).
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name, help="", labelnames=(), agg: str = "sum"):
+        if agg not in ("sum", "max", "last"):
+            raise ValueError(f"unknown gauge aggregation {agg!r}")
+        super().__init__(name, help, labelnames)
+        self.agg = agg
+
+    def _meta(self) -> dict:
+        return dict(super()._meta(), agg=self.agg)
+
+    def _new_child(self):
+        return _GaugeValue()
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def set_max(self, value: float) -> None:
+        self.labels().set_max(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self.labels().value
+
+
+class Histogram(_Family):
+    """Fixed-bucket distribution (per-bucket counts + sum + count).
+
+    Buckets are upper bounds in ascending order; an implicit ``+Inf``
+    bucket catches the overflow. Fixed buckets are what makes worker
+    snapshots mergeable — the supervisor adds counts slot-wise.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name, help="", labelnames=(),
+                 buckets=LATENCY_BUCKETS_S):
+        super().__init__(name, help, labelnames)
+        self.buckets = tuple(float(b) for b in buckets)
+        if list(self.buckets) != sorted(set(self.buckets)):
+            raise ValueError("histogram buckets must be strictly "
+                             "ascending")
+
+    def _meta(self) -> dict:
+        return dict(super()._meta(), buckets=list(self.buckets))
+
+    def _new_child(self):
+        return _HistogramChild(self)
+
+
+class _HistogramChild:
+    """Flat (no inner value object): ``observe`` is the serving tier's
+    per-request cost, so it is one bisect and one lock, nothing else."""
+
+    __slots__ = ("_bounds", "counts", "sum", "count", "_lock")
+
+    def __init__(self, family: Histogram):
+        self._bounds = family.buckets
+        self.counts = [0] * (len(family.buckets) + 1)  # +1 = +Inf slot
+        self.sum = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        slot = bisect.bisect_left(self._bounds, value)
+        with self._lock:
+            self.counts[slot] += 1
+            self.sum += value
+            self.count += 1
+
+    def dump(self) -> dict:
+        with self._lock:
+            return {"counts": list(self.counts), "sum": self.sum,
+                    "count": self.count}
+
+    def load(self, dumped: dict) -> None:
+        with self._lock:
+            self.counts = [int(c) for c in dumped["counts"]]
+            self.sum = float(dumped["sum"])
+            self.count = int(dumped["count"])
+
+
+class MetricsRegistry:
+    """One process-local collection of metric families.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    for the same name returns the same family (and raises if the second
+    ask disagrees on type or label names — a silent shadow registry is
+    how counters get lost).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    def _get_or_create(self, cls, name, help, labelnames, **extra):
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if not isinstance(family, cls):
+                    raise ValueError(
+                        f"{name} is already registered as a "
+                        f"{family.kind}, not a {cls.kind}")
+                if family.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"{name} is already registered with labels "
+                        f"{list(family.labelnames)}")
+                return family
+            family = cls(name, help, tuple(labelnames), **extra)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "",
+                labelnames=()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames=(),
+              agg: str = "sum") -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames,
+                                   agg=agg)
+
+    def histogram(self, name: str, help: str = "", labelnames=(),
+                  buckets=LATENCY_BUCKETS_S) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labelnames,
+                                   buckets=buckets)
+
+    def get(self, name: str) -> _Family | None:
+        with self._lock:
+            return self._families.get(name)
+
+    def families(self) -> list[_Family]:
+        with self._lock:
+            return list(self._families.values())
+
+    # -- snapshot / restore --------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-dict (JSON-able) dump of every family and child."""
+        return {family.name: family.snapshot()
+                for family in self.families()}
+
+    def restore(self, snapshot: dict) -> None:
+        """Recreate families and values from a :meth:`snapshot` payload
+        (used by checkpointed callbacks to resume their series)."""
+        for name, payload in snapshot.items():
+            kind = payload.get("type")
+            labelnames = tuple(payload.get("labels", []))
+            if kind == "counter":
+                family = self.counter(name, payload.get("help", ""),
+                                      labelnames)
+            elif kind == "gauge":
+                family = self.gauge(name, payload.get("help", ""),
+                                    labelnames,
+                                    agg=payload.get("agg", "sum"))
+            elif kind == "histogram":
+                family = self.histogram(
+                    name, payload.get("help", ""), labelnames,
+                    buckets=tuple(payload.get("buckets",
+                                              LATENCY_BUCKETS_S)))
+            else:
+                continue
+            family.restore(payload)
+
+
+def relabel(snapshot: dict, **labels) -> dict:
+    """A copy of ``snapshot`` with extra label dimensions prepended to
+    every family (``relabel(worker_snap, shard="0")``). This is how a
+    per-process snapshot keeps its identity through a cluster merge."""
+    names = list(labels)
+    values = [str(labels[n]) for n in names]
+    out = {}
+    for name, payload in snapshot.items():
+        copied = dict(payload)
+        copied["labels"] = names + list(payload.get("labels", []))
+        copied["values"] = [[values + list(lv), dumped]
+                            for lv, dumped in payload.get("values", [])]
+        out[name] = copied
+    return out
+
+
+def _merge_dumped(kind: str, agg: str, left, right):
+    if kind == "histogram":
+        counts = [a + b for a, b in zip(left["counts"], right["counts"])]
+        return {"counts": counts, "sum": left["sum"] + right["sum"],
+                "count": left["count"] + right["count"]}
+    if kind == "gauge":
+        if agg == "max":
+            return max(left, right)
+        if agg == "last":
+            return right
+    return left + right                       # counters, sum-gauges
+
+
+def merge(snapshots) -> dict:
+    """Merge registry snapshots into one aggregated snapshot.
+
+    Counters and histograms add; gauges combine per their recorded
+    ``agg`` mode. Families/label-rows missing from some snapshots pass
+    through unchanged — exactly the semantics ``cluster_stats`` totals
+    have always had. ``None`` entries are skipped so callers can feed
+    ``[retired_base, *live_workers]`` without guarding."""
+    out: dict = {}
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for name, payload in snapshot.items():
+            have = out.get(name)
+            if have is None:
+                copied = dict(payload)
+                copied["values"] = [[list(lv), dumped] for lv, dumped
+                                    in payload.get("values", [])]
+                out[name] = copied
+                continue
+            rows = {tuple(lv): dumped
+                    for lv, dumped in have.get("values", [])}
+            kind = have.get("type", "counter")
+            agg = have.get("agg", "sum")
+            for lv, dumped in payload.get("values", []):
+                key = tuple(lv)
+                if key in rows:
+                    rows[key] = _merge_dumped(kind, agg, rows[key],
+                                              dumped)
+                else:
+                    rows[key] = dumped
+            have["values"] = [[list(k), v] for k, v in rows.items()]
+    return out

@@ -36,7 +36,11 @@ from __future__ import annotations
 import threading
 import time
 
+from ..obs.metrics import MetricsRegistry
+
 __all__ = ["MicroBatcher", "Ticket"]
+
+_FLUSH_TRIGGERS = ("size", "latency", "inline", "close")
 
 
 class Ticket:
@@ -86,7 +90,8 @@ class MicroBatcher:
     """
 
     def __init__(self, encode_fn, max_batch: int = 32,
-                 max_delay_ms: float = 2.0, start: bool = True):
+                 max_delay_ms: float = 2.0, start: bool = True,
+                 registry: MetricsRegistry | None = None):
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
         if max_delay_ms < 0:
@@ -98,23 +103,64 @@ class MicroBatcher:
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._closed = False
-        # counters (read via stats(); written under the lock or by the
-        # single flushing thread)
-        self.batches = 0
-        self.items = 0
-        self.unique_items = 0
-        self.largest_batch = 0
+        # Counters live on the obs registry (shared via ``registry``,
+        # private when omitted); the historical attribute names remain
+        # readable as properties and stats() keeps its keys.
+        self.registry = registry or MetricsRegistry()
+        self._batches = self.registry.counter(
+            "repro_serve_batcher_batches_total",
+            "fused encode_batch calls").labels()
+        self._items = self.registry.counter(
+            "repro_serve_batcher_items_total",
+            "requests resolved by fused flushes").labels()
+        self._unique_items = self.registry.counter(
+            "repro_serve_batcher_unique_items_total",
+            "distinct trees encoded (after per-flush dedup)").labels()
         # backpressure instrumentation: deepest the queue ever got, and
         # why each flush fired (size cap hit vs latency deadline vs
         # explicit inline drain vs close-time tail drain)
-        self.queue_depth_hwm = 0
-        self.flush_triggers = {"size": 0, "latency": 0, "inline": 0,
-                               "close": 0}
+        self._largest_batch = self.registry.gauge(
+            "repro_serve_batcher_largest_batch",
+            "largest fused batch so far", agg="max").labels()
+        self._queue_depth_hwm = self.registry.gauge(
+            "repro_serve_batcher_queue_depth_hwm",
+            "queue-depth high-water mark", agg="max").labels()
+        self._pending_gauge = self.registry.gauge(
+            "repro_serve_batcher_pending", "requests queued right now")
+        self._flushes = self.registry.counter(
+            "repro_serve_batcher_flushes_total",
+            "flushes by firing trigger", ("trigger",))
         self._worker: threading.Thread | None = None
         if start:
             self._worker = threading.Thread(target=self._run, daemon=True,
                                             name="repro-serve-batcher")
             self._worker.start()
+
+    # -- historical counter attributes, now registry views -------------
+    @property
+    def batches(self) -> int:
+        return int(self._batches.value)
+
+    @property
+    def items(self) -> int:
+        return int(self._items.value)
+
+    @property
+    def unique_items(self) -> int:
+        return int(self._unique_items.value)
+
+    @property
+    def largest_batch(self) -> int:
+        return int(self._largest_batch.value)
+
+    @property
+    def queue_depth_hwm(self) -> int:
+        return int(self._queue_depth_hwm.value)
+
+    @property
+    def flush_triggers(self) -> dict:
+        return {t: int(self._flushes.labels(t).value)
+                for t in _FLUSH_TRIGGERS}
 
     # ------------------------------------------------------------------
     def submit(self, item) -> Ticket:
@@ -124,9 +170,9 @@ class MicroBatcher:
             if self._closed:
                 raise RuntimeError("batcher is closed")
             self._pending.append((ticket, time.monotonic()))
-            self.queue_depth_hwm = max(self.queue_depth_hwm,
-                                       len(self._pending))
+            depth = len(self._pending)
             self._wakeup.notify_all()
+        self._queue_depth_hwm.set_max(depth)
         return ticket
 
     def pending(self) -> int:
@@ -170,16 +216,21 @@ class MicroBatcher:
         self.close()
 
     def stats(self) -> dict:
+        """Historical stats view — keys unchanged, values read from the
+        registry families."""
+        batches, items = self.batches, self.items
         with self._lock:
-            mean = (self.items / self.batches) if self.batches else 0.0
-            return {
-                "batches": self.batches, "items": self.items,
-                "unique_items": self.unique_items,
-                "largest_batch": self.largest_batch,
-                "mean_batch_size": mean, "pending": len(self._pending),
-                "queue_depth_hwm": self.queue_depth_hwm,
-                "flush_triggers": dict(self.flush_triggers),
-            }
+            pending = len(self._pending)
+        self._pending_gauge.set(pending)
+        return {
+            "batches": batches, "items": items,
+            "unique_items": self.unique_items,
+            "largest_batch": self.largest_batch,
+            "mean_batch_size": (items / batches) if batches else 0.0,
+            "pending": pending,
+            "queue_depth_hwm": self.queue_depth_hwm,
+            "flush_triggers": self.flush_triggers,
+        }
 
     # ------------------------------------------------------------------
     def _encode_batch(self, batch: list[Ticket],
@@ -204,12 +255,11 @@ class MicroBatcher:
             for ticket in batch:
                 ticket._fail(error)
             return
-        with self._lock:
-            self.batches += 1
-            self.items += len(batch)
-            self.unique_items += len(unique)
-            self.largest_batch = max(self.largest_batch, len(batch))
-            self.flush_triggers[trigger] += 1
+        self._batches.inc()
+        self._items.inc(len(batch))
+        self._unique_items.inc(len(unique))
+        self._largest_batch.set_max(len(batch))
+        self._flushes.labels(trigger).inc()
         for ticket, value in zip(batch, results):
             ticket._resolve(value)
 

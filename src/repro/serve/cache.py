@@ -19,6 +19,7 @@ from threading import Lock
 import numpy as np
 
 from ..core.features import TreeFeatures
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["canonical_key", "LruCache"]
 
@@ -51,10 +52,17 @@ class LruCache:
     entry (a huge AST's embedding) cannot evict a whole working set of
     small ones. ``None`` admits everything; entries whose ``cost`` the
     caller does not know are always admitted.
+
+    Counters live on a :class:`repro.obs.metrics.MetricsRegistry`
+    (shared via ``registry``, private when omitted); ``hits`` /
+    ``misses`` / ``rejected`` stay readable as attributes and
+    ``stats()`` keeps its historical keys — both are now views over the
+    registry families.
     """
 
     def __init__(self, capacity: int = 1024,
-                 admit_max_cost: int | None = None):
+                 admit_max_cost: int | None = None,
+                 registry: MetricsRegistry | None = None):
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
         if admit_max_cost is not None and admit_max_cost < 1:
@@ -63,9 +71,56 @@ class LruCache:
         self.admit_max_cost = admit_max_cost
         self._data: "OrderedDict[str, object]" = OrderedDict()
         self._lock = Lock()
-        self.hits = 0
-        self.misses = 0
-        self.rejected = 0
+        self.registry = registry or MetricsRegistry()
+        # get() is the hottest call in the serving tier, so it counts
+        # with plain ints under the lock it already holds; _publish()
+        # pushes the totals into the registry counters whenever anyone
+        # actually reads them (stats(), a scrape, a snapshot poll)
+        self._hits_n = 0
+        self._misses_n = 0
+        self._rejected_n = 0
+        self._published = {"hits": 0, "misses": 0, "rejected": 0}
+        self._hit_ctr = self.registry.counter(
+            "repro_serve_cache_hits_total",
+            "embedding cache lookups served from cache").labels()
+        self._miss_ctr = self.registry.counter(
+            "repro_serve_cache_misses_total",
+            "embedding cache lookups that required an encode").labels()
+        self._rejected_ctr = self.registry.counter(
+            "repro_serve_cache_rejected_total",
+            "inserts dropped by the admission policy").labels()
+        self._size_gauge = self.registry.gauge(
+            "repro_serve_cache_size", "entries currently cached")
+        self.registry.gauge(
+            "repro_serve_cache_capacity", "configured cache capacity",
+            agg="last").set(capacity)
+
+    def _publish(self) -> None:
+        """Fold the int counters into the registry families (delta-wise,
+        so repeated publishes are idempotent)."""
+        with self._lock:
+            totals = {"hits": self._hits_n, "misses": self._misses_n,
+                      "rejected": self._rejected_n}
+            for name, child in (("hits", self._hit_ctr),
+                                ("misses", self._miss_ctr),
+                                ("rejected", self._rejected_ctr)):
+                delta = totals[name] - self._published[name]
+                if delta:
+                    child.inc(delta)
+                    self._published[name] = totals[name]
+            self._size_gauge.set(len(self._data))
+
+    @property
+    def hits(self) -> int:
+        return self._hits_n
+
+    @property
+    def misses(self) -> int:
+        return self._misses_n
+
+    @property
+    def rejected(self) -> int:
+        return self._rejected_n
 
     def __len__(self) -> int:
         return len(self._data)
@@ -79,9 +134,9 @@ class LruCache:
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
-                self.hits += 1
+                self._hits_n += 1
                 return self._data[key]
-            self.misses += 1
+            self._misses_n += 1
             return None
 
     def put(self, key: str, value, cost: int | None = None) -> None:
@@ -96,7 +151,7 @@ class LruCache:
         if (self.admit_max_cost is not None and cost is not None
                 and cost > self.admit_max_cost):
             with self._lock:
-                self.rejected += 1
+                self._rejected_n += 1
             return
         with self._lock:
             if key in self._data:
@@ -110,12 +165,17 @@ class LruCache:
             self._data.clear()
 
     def stats(self) -> dict:
+        """Historical stats view — keys unchanged; also publishes the
+        hot-path counters into the registry families."""
+        self._publish()
+        hits, misses, rejected = self.hits, self.misses, self.rejected
         with self._lock:
-            total = self.hits + self.misses
-            return {
-                "size": len(self._data), "capacity": self.capacity,
-                "hits": self.hits, "misses": self.misses,
-                "hit_rate": (self.hits / total) if total else 0.0,
-                "admit_max_cost": self.admit_max_cost,
-                "rejected": self.rejected,
-            }
+            size = len(self._data)
+        total = hits + misses
+        return {
+            "size": size, "capacity": self.capacity,
+            "hits": hits, "misses": misses,
+            "hit_rate": (hits / total) if total else 0.0,
+            "admit_max_cost": self.admit_max_cost,
+            "rejected": rejected,
+        }

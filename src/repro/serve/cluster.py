@@ -25,10 +25,12 @@ shapes, same response shapes — plus three cluster additions:
 
 * responses may arrive **out of request order** (they carry the echoed
   ``id``; :class:`ClusterClient` rematches them);
-* two admin ops: ``{"op": "cluster_stats"}`` (aggregated supervisor +
-  per-worker stats) and ``{"op": "swap", "model": "<path>"}``
-  (synchronous blue/green rotation — pointing it at the previous
-  checkpoint file is the rollback command);
+* three admin ops: ``{"op": "cluster_stats"}`` (aggregated supervisor +
+  per-worker stats), ``{"op": "metrics"}`` (the merged obs-registry
+  snapshot; add ``"format": "prometheus"`` for scrape-ready text), and
+  ``{"op": "swap", "model": "<path>"}`` (synchronous blue/green
+  rotation — pointing it at the previous checkpoint file is the
+  rollback command);
 * three structured error codes no single-process client ever sees:
   ``overloaded`` (the target shard is past its high-water mark — shed,
   not queued), ``deadline_exceeded``, and ``worker_failed``.
@@ -119,7 +121,7 @@ class ClusterServer:
                  host: str = "127.0.0.1", port: int = 0,
                  config: SupervisorConfig | None = None,
                  fault_plans: dict[int, str] | None = None,
-                 stats_stream=None):
+                 stats_stream=None, metrics_port: int | None = None):
         self.config = config or SupervisorConfig()
         self.supervisor = Supervisor(checkpoint_path, workers,
                                      config=self.config,
@@ -128,6 +130,8 @@ class ClusterServer:
         self.router = _Router(checkpoint_path, workers)
         self._host = host
         self._port = port
+        self._metrics_port = metrics_port
+        self.metrics_server = None
         self._sock: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._conns: set[socket.socket] = set()
@@ -144,6 +148,11 @@ class ClusterServer:
         sock.bind((self._host, self._port))
         sock.listen(128)
         self._sock = sock
+        if self._metrics_port is not None:
+            from ..obs.expose import MetricsHTTPServer
+            self.metrics_server = MetricsHTTPServer(
+                self.supervisor.metrics_snapshot, host=self._host,
+                port=self._metrics_port)
         self._accept_thread = threading.Thread(
             target=self._accept_loop, daemon=True,
             name="repro-cluster-accept")
@@ -160,6 +169,8 @@ class ClusterServer:
         if self._closed:
             return
         self._closed = True
+        if self.metrics_server is not None:
+            self.metrics_server.close()
         if self._sock is not None:
             try:
                 self._sock.close()
@@ -253,6 +264,22 @@ class ClusterServer:
                    "stats": self.supervisor.stats()}
                   if request_id is not None else
                   {"ok": True, "stats": self.supervisor.stats()})
+            return
+        if op == "metrics":
+            # cluster-wide merged registry snapshot (supervisor + every
+            # shard, incl. retained counters of dead workers); the
+            # Prometheus text variant serves scrapers that reach the
+            # front door instead of --metrics-port
+            snapshot = self.supervisor.metrics_snapshot()
+            response = {"ok": True}
+            if request_id is not None:
+                response["id"] = request_id
+            if request.get("format") == "prometheus":
+                from ..obs.expose import to_prometheus
+                response["metrics_text"] = to_prometheus(snapshot)
+            else:
+                response["metrics"] = snapshot
+            reply(response)
             return
         if op == "swap":
             model = request.get("model")

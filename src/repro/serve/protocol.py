@@ -23,6 +23,7 @@ backwards compatibility with pre-cluster clients.
 from __future__ import annotations
 
 import json
+from contextlib import nullcontext
 
 from .service import RequestSourceError
 
@@ -93,12 +94,17 @@ def _error_code_for(error: Exception) -> str:
     return ERR_INTERNAL
 
 
-def handle_request(service, request: dict) -> dict:
+def handle_request(service, request: dict, trace_id=None) -> dict:
     """Answer one decoded request against a ``PredictionService``.
 
     Never raises: every failure becomes a structured error response so
     the surrounding loop — CLI stream, bulk file, or cluster worker —
     keeps serving.
+
+    ``trace_id`` names this request in the service's trace ring (a
+    cluster worker passes its supervisor ticket id, so a front-door
+    request can be matched to its worker-side span tree); it defaults
+    to the request's own ``id``.
     """
     if not isinstance(request, dict):
         return error_reply(ERR_BAD_JSON,
@@ -107,31 +113,48 @@ def handle_request(service, request: dict) -> dict:
     response = {"ok": True}
     if "id" in request:
         response["id"] = request["id"]
-    try:
-        op = request.get("op")
-        if op == "embed":
-            response["embedding"] = service.embed(request["source"]).tolist()
-        elif op == "embed_many":
-            response["embeddings"] = service.embed_many(
-                request["sources"]).tolist()
-        elif op == "compare" and "old" in request:
-            response.update(service.check_regression(
-                request["old"], request["new"],
-                threshold=float(request.get("threshold", 0.5))))
-        elif op == "compare":
-            response["p_first_slower"] = service.compare(
-                request["first"], request["second"])
-        elif op == "rank":
-            response["ranking"] = service.rank(
-                request["candidates"], baseline=request.get("baseline"))
-        elif op == "stats":
-            response["stats"] = service.stats()
-        else:
-            raise ValueError(f"unknown op {op!r}")
-    except Exception as error:  # one bad request must not kill the stream
-        response = error_reply(_error_code_for(error),
-                               f"{type(error).__name__}: {error}",
-                               request_id=request.get("id"))
+    if trace_id is None:
+        trace_id = request.get("id", "")
+    tracer = getattr(service, "tracer", None)
+    guard = tracer.trace(trace_id) if tracer is not None else nullcontext()
+    with guard as trace:
+        if trace is not None and getattr(trace, "sampled", False):
+            trace.note(op=request.get("op"))
+        try:
+            op = request.get("op")
+            if op == "embed":
+                response["embedding"] = service.embed(
+                    request["source"]).tolist()
+            elif op == "embed_many":
+                response["embeddings"] = service.embed_many(
+                    request["sources"]).tolist()
+            elif op == "compare" and "old" in request:
+                response.update(service.check_regression(
+                    request["old"], request["new"],
+                    threshold=float(request.get("threshold", 0.5))))
+            elif op == "compare":
+                response["p_first_slower"] = service.compare(
+                    request["first"], request["second"])
+            elif op == "rank":
+                response["ranking"] = service.rank(
+                    request["candidates"], baseline=request.get("baseline"))
+            elif op == "stats":
+                response["stats"] = service.stats()
+            elif op == "metrics":
+                snapshot = service.metrics_snapshot()
+                if request.get("format") == "prometheus":
+                    from ..obs.expose import to_prometheus
+                    response["metrics_text"] = to_prometheus(snapshot)
+                else:
+                    response["metrics"] = snapshot
+            elif op == "traces":
+                response["traces"] = service.tracer.completed()
+            else:
+                raise ValueError(f"unknown op {op!r}")
+        except Exception as error:  # a bad request must not kill the stream
+            response = error_reply(_error_code_for(error),
+                                   f"{type(error).__name__}: {error}",
+                                   request_id=request.get("id"))
     return response
 
 

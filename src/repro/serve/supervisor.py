@@ -42,6 +42,8 @@ import threading
 import time
 from pathlib import Path
 
+from ..obs import metrics as obs_metrics
+from ..obs.metrics import MetricsRegistry
 from .checkpoint import checkpoint_signature
 from .protocol import (
     ERR_DEADLINE, ERR_SHUTDOWN, ERR_WORKER_FAILED, error_reply,
@@ -75,7 +77,7 @@ class Ticket:
         self.reply = reply               # callable(response dict) | None
         self.deadline_mono = deadline_mono
         self.deadline_unix = deadline_unix
-        self.internal = internal         # None | "ping" | "stats"
+        self.internal = internal         # None | "ping" | "stats" | "metrics"
         self.attempts = 0
 
     @property
@@ -102,6 +104,8 @@ class WorkerHandle:
         self.dispatched = 0
         self.missed_pings = 0
         self.service_stats: dict | None = None   # last polled stats()
+        self.metrics: dict | None = None         # last polled registry snap
+        self.metrics_folded = False              # merged into retired base
         self.started = time.monotonic()
         self._stdin_lock = threading.Lock()
         self.stderr_tail: list[str] = []
@@ -216,7 +220,23 @@ class Supervisor:
         self.routing: list[WorkerHandle | None] = [None] * workers
         self._restart_at: dict[int, float] = {}    # shard -> monotonic
         self._fail_streak: dict[int, int] = {i: 0 for i in range(workers)}
-        self.counters = {name: 0 for name in _COUNTER_NAMES}
+        # Lifecycle counters live on the obs registry; stats()["counters"]
+        # stays the historical same-key dict, now a view over this family.
+        self.registry = MetricsRegistry()
+        self._counters = self.registry.counter(
+            "repro_cluster_supervisor_total",
+            "supervisor lifecycle counters", ("counter",))
+        for name in _COUNTER_NAMES:
+            self._counters.labels(name)          # pre-create: stats shows 0s
+        self.registry.gauge("repro_cluster_shards", "configured shards",
+                            agg="last").set(workers)
+        self._uptime = self.registry.gauge(
+            "repro_cluster_uptime_seconds",
+            "seconds since supervisor start", agg="last")
+        # Metrics snapshots of dead/retired workers, pre-merged (and
+        # shard-relabeled) so a SIGKILLed worker's counters survive in
+        # the aggregated scrape payload.
+        self._retired_metrics: dict = {}
         self.events: list[dict] = []               # bounded event log
         self._draining: list[WorkerHandle] = []
         # tickets with no ready worker wait here (still under their
@@ -359,7 +379,7 @@ class Supervisor:
         with self._lock:
             ticket = handle.inflight.pop(tid, None)
             if ticket is None:
-                self.counters["late_replies"] += 1
+                self._counters.labels("late_replies").inc()
                 return
             if ticket.internal == "ping":
                 handle.missed_pings = 0
@@ -368,17 +388,35 @@ class Supervisor:
                 if isinstance(resp, dict) and resp.get("ok"):
                     handle.service_stats = resp.get("stats")
                 return
-            self.counters["replied"] += 1
+            if ticket.internal == "metrics":
+                if isinstance(resp, dict) and resp.get("ok"):
+                    handle.metrics = resp.get("metrics")
+                return
+            self._counters.labels("replied").inc()
         self._deliver(ticket, resp if isinstance(resp, dict)
                       else error_reply(ERR_WORKER_FAILED,
                                        "worker returned a malformed reply",
                                        request_id=ticket.request_id))
+
+    def _fold_retired_metrics(self, handle: WorkerHandle) -> None:
+        """Merge a dying worker's last polled registry snapshot into the
+        retained base (shard-relabeled), so its counters survive in the
+        aggregated scrape even through a SIGKILL mid-scrape. Caller
+        holds the lock; idempotent per handle."""
+        if handle.metrics_folded or not handle.metrics:
+            return
+        handle.metrics_folded = True
+        tagged = obs_metrics.relabel(handle.metrics,
+                                     shard=str(handle.shard))
+        self._retired_metrics = obs_metrics.merge(
+            [self._retired_metrics, tagged])
 
     def _on_worker_exit(self, handle: WorkerHandle) -> None:
         handle.proc.wait()
         with self._lock:
             was_dead = handle.state == "dead"
             handle.state = "dead"
+            self._fold_retired_metrics(handle)
             orphans = [t for t in handle.inflight.values()
                        if t.internal is None]
             handle.inflight.clear()
@@ -388,7 +426,7 @@ class Supervisor:
             if was_dead or self._stopping:
                 is_routed = False
             if is_routed and not handle.retired:
-                self.counters["worker_deaths"] += 1
+                self._counters.labels("worker_deaths").inc()
                 self._fail_streak[handle.shard] += 1
                 delay = backoff_ms(self._fail_streak[handle.shard],
                                    self.config.backoff_base_ms,
@@ -405,14 +443,14 @@ class Supervisor:
         ticket.attempts += 1
         if ticket.attempts >= self.config.max_attempts:
             with self._lock:
-                self.counters["retries_exhausted"] += 1
+                self._counters.labels("retries_exhausted").inc()
             self._deliver(ticket, error_reply(
                 ERR_WORKER_FAILED,
                 f"worker died {ticket.attempts} time(s) while serving "
                 "this request", request_id=ticket.request_id))
             return
         with self._lock:
-            self.counters["redispatched"] += 1
+            self._counters.labels("redispatched").inc()
         self.dispatch(ticket)
 
     # ------------------------------------------------------------------
@@ -442,7 +480,7 @@ class Supervisor:
         for offset in range(1, self.n_shards):
             other = self.routing[(shard + offset) % self.n_shards]
             if other is not None and other.state == "ready":
-                self.counters["affinity_misses"] += 1
+                self._counters.labels("affinity_misses").inc()
                 return other
         return None
 
@@ -461,12 +499,12 @@ class Supervisor:
                     # for the next ready worker, bounded by its own
                     # deadline — restarts cost latency, not errors
                     self._parked.append(ticket)
-                    self.counters["parked"] += 1
+                    self._counters.labels("parked").inc()
                     parked = True
             if handle is not None:
                 handle.inflight[ticket.tid] = ticket
                 handle.dispatched += 1
-                self.counters["dispatched"] += 1
+                self._counters.labels("dispatched").inc()
         if parked:
             return
         if handle is None:
@@ -513,7 +551,7 @@ class Supervisor:
     def bump(self, counter: str, by: int = 1) -> None:
         """Counter hook for the transport layer (e.g. overload sheds)."""
         with self._lock:
-            self.counters[counter] += by
+            self._counters.labels(counter).inc(by)
 
     # ------------------------------------------------------------------
     # housekeeping
@@ -550,7 +588,7 @@ class Supervisor:
                     self._parked.remove(ticket)
         for ticket in overdue_parked:
             with self._lock:
-                self.counters["deadline_expired"] += 1
+                self._counters.labels("deadline_expired").inc()
             self._deliver(ticket, error_reply(
                 ERR_DEADLINE,
                 f"no worker became available within "
@@ -560,7 +598,7 @@ class Supervisor:
             if ticket.internal == "ping":
                 with self._lock:
                     handle.missed_pings += 1
-                    self.counters["pings_missed"] += 1
+                    self._counters.labels("pings_missed").inc()
                     hung = (handle.missed_pings >= self.config.ping_misses
                             and handle.state in ("ready", "draining"))
                     if hung:
@@ -571,11 +609,11 @@ class Supervisor:
                     # SIGKILL; pipe EOF then routes through the normal
                     # death path (redispatch + backoff restart)
                     handle.kill()
-            elif ticket.internal == "stats":
+            elif ticket.internal in ("stats", "metrics"):
                 pass
             else:
                 with self._lock:
-                    self.counters["deadline_expired"] += 1
+                    self._counters.labels("deadline_expired").inc()
                 self._deliver(ticket, error_reply(
                     ERR_DEADLINE,
                     f"no reply within {self.config.request_timeout_ms:g} "
@@ -595,7 +633,7 @@ class Supervisor:
                     continue
                 generation = (self.routing[shard].generation + 1
                               if self.routing[shard] else 1)
-                self.counters["worker_restarts"] += 1
+                self._counters.labels("worker_restarts").inc()
                 self._event("worker_restarting", shard=shard,
                             generation=generation)
                 self.routing[shard] = self._spawn(
@@ -624,13 +662,15 @@ class Supervisor:
                 self._ping_due[handle.shard] = (
                     now + self.config.ping_interval_ms / 1000.0)
                 with self._lock:
-                    self.counters["pings_sent"] += 1
+                    self._counters.labels("pings_sent").inc()
                 self._send_internal(handle, "ping", {"op": "ping"},
                                     self.config.ping_timeout_ms)
             if now >= self._stats_due.get(handle.shard, 0.0):
                 self._stats_due[handle.shard] = (
                     now + self.config.stats_poll_ms / 1000.0)
                 self._send_internal(handle, "stats", {"op": "stats"},
+                                    self.config.stats_poll_ms)
+                self._send_internal(handle, "metrics", {"op": "metrics"},
                                     self.config.stats_poll_ms)
 
     def _drain_retired(self, now: float) -> None:
@@ -674,7 +714,7 @@ class Supervisor:
             signature = checkpoint_signature(path)
         except Exception as error:
             with self._lock:
-                self.counters["swap_rejected"] += 1
+                self._counters.labels("swap_rejected").inc()
                 self._event("swap_rejected", path=str(path),
                             reason=f"{type(error).__name__}: {error}")
             return
@@ -706,7 +746,7 @@ class Supervisor:
             new_signature = checkpoint_signature(new_checkpoint)
         except Exception as error:
             with self._lock:
-                self.counters["swap_rejected"] += 1
+                self._counters.labels("swap_rejected").inc()
                 self._event("swap_rejected", path=str(new_checkpoint),
                             reason=f"{type(error).__name__}: {error}")
             return {"ok": False, "error":
@@ -723,7 +763,7 @@ class Supervisor:
             if not ok or candidate.fatal:
                 candidate.kill()
                 with self._lock:
-                    self.counters["swap_failures"] += 1
+                    self._counters.labels("swap_failures").inc()
                     self._event(
                         "swap_failed", shard=shard,
                         reason=candidate.fatal or "boot timeout",
@@ -746,7 +786,7 @@ class Supervisor:
         with self._lock:
             self.checkpoint_path = str(new_checkpoint)
             self.current_signature = new_signature
-            self.counters["swaps"] += 1
+            self._counters.labels("swaps").inc()
             self._event("swapped", old=old_signature["sha"],
                         new=new_signature["sha"],
                         path=str(new_checkpoint))
@@ -758,7 +798,7 @@ class Supervisor:
     # ------------------------------------------------------------------
     def _event(self, kind: str, **fields) -> None:
         # caller holds the lock
-        self.counters["events"] += 1
+        self._counters.labels("events").inc()
         self.events.append(dict(fields, event=kind, ts=time.time()))
         del self.events[:-100]
 
@@ -768,9 +808,10 @@ class Supervisor:
         with self._lock:
             workers = [h.describe() for h in self.routing if h is not None]
             draining = [h.describe() for h in self._draining]
-            counters = dict(self.counters)
             signature = dict(self.current_signature)
             events = list(self.events[-10:])
+        counters = {name: int(self._counters.labels(name).value)
+                    for name in _COUNTER_NAMES}
         totals = {"cache_hits": 0, "cache_misses": 0, "cache_rejected": 0,
                   "batches": 0, "trees_encoded": 0, "requests": 0,
                   "queue_depth_hwm": 0}
@@ -806,13 +847,32 @@ class Supervisor:
                 "workers": workers, "draining": draining,
                 "recent_events": events}
 
+    def metrics_snapshot(self) -> dict:
+        """Cluster-wide registry snapshot: the supervisor's own families
+        merged with every worker's last polled snapshot (shard-labeled)
+        plus the retained snapshots of dead/retired workers — the
+        payload behind the ``metrics`` front-door op, the scrape
+        endpoint, and the ``--stats-every`` stream."""
+        self._uptime.set(time.monotonic() - self._started)
+        with self._lock:
+            live = [(h.shard, h.metrics)
+                    for h in (list(self.routing) + self._draining)
+                    if h is not None and h.metrics
+                    and not h.metrics_folded]
+            retired = dict(self._retired_metrics)
+        tagged = [obs_metrics.relabel(snap, shard=str(shard))
+                  for shard, snap in live]
+        return obs_metrics.merge(
+            [self.registry.snapshot(), retired] + tagged)
+
     def _emit_stats_due(self, now: float) -> None:
         if (self.stats_stream is None
                 or self.config.stats_interval_ms <= 0
                 or now < self._stats_emit_due):
             return
         self._stats_emit_due = now + self.config.stats_interval_ms / 1000.0
-        payload = json.dumps(dict(self.stats(), ts=time.time()))
+        payload = json.dumps(dict(self.stats(), ts=time.time(),
+                                  metrics=self.metrics_snapshot()))
         with self._stats_stream_lock:
             try:
                 self.stats_stream.write(payload + "\n")

@@ -123,7 +123,11 @@ def main(argv: list[str] | None = None) -> int:
                         request_id=request.get("id")
                         if isinstance(request, dict) else None)})
                     continue
-            _emit({"t": ticket, "resp": handle_request(service, request)})
+            # The supervisor ticket id doubles as the trace id, so a
+            # front-door request can be matched to this worker's spans.
+            _emit({"t": ticket,
+                   "resp": handle_request(service, request,
+                                          trace_id=ticket)})
     return 0
 
 

@@ -1,0 +1,131 @@
+"""Unit tests for :mod:`repro.obs.expose`: Prometheus text rendering
+and the stdlib HTTP scrape server."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.expose import (
+    PROMETHEUS_CONTENT_TYPE, MetricsHTTPServer, to_json, to_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _populated_registry():
+    reg = MetricsRegistry()
+    reg.counter("repro_requests_total", "Requests served.",
+                ("op",)).labels("embed").inc(3)
+    reg.gauge("repro_queue_depth", "Batcher queue depth.").set(2)
+    reg.histogram("repro_latency_seconds", "Request latency.",
+                  buckets=(0.1, 1.0)).labels().observe(0.5)
+    return reg
+
+
+class TestToPrometheus:
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus({}) == ""
+
+    def test_help_type_and_sample_lines(self):
+        text = to_prometheus(_populated_registry().snapshot())
+        lines = text.splitlines()
+        assert "# HELP repro_requests_total Requests served." in lines
+        assert "# TYPE repro_requests_total counter" in lines
+        assert 'repro_requests_total{op="embed"} 3' in lines
+        assert "# TYPE repro_queue_depth gauge" in lines
+        assert "repro_queue_depth 2" in lines
+        assert text.endswith("\n")
+
+    def test_families_render_in_sorted_name_order(self):
+        text = to_prometheus(_populated_registry().snapshot())
+        order = [line.split()[2] for line in text.splitlines()
+                 if line.startswith("# TYPE")]
+        assert order == sorted(order)
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", buckets=(0.1, 1.0)).labels()
+        h.observe(0.05)   # bucket 0.1
+        h.observe(0.5)    # bucket 1.0
+        h.observe(0.5)
+        h.observe(9.0)    # +Inf
+        lines = to_prometheus(reg.snapshot()).splitlines()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in lines
+        assert 'lat_seconds_bucket{le="1"} 3' in lines
+        assert 'lat_seconds_bucket{le="+Inf"} 4' in lines
+        assert "lat_seconds_sum 10.05" in lines
+        assert "lat_seconds_count 4" in lines
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labelnames=("path",)).labels(
+            'a\\b"c\nd').inc()
+        text = to_prometheus(reg.snapshot())
+        assert 'c_total{path="a\\\\b\\"c\\nd"} 1' in text
+
+    def test_rows_sorted_by_label_values(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c_total", labelnames=("op",))
+        for op in ("rank", "compare", "embed"):
+            c.labels(op).inc()
+        rows = [line for line in to_prometheus(reg.snapshot()).splitlines()
+                if line.startswith("c_total{")]
+        assert rows == sorted(rows)
+
+    def test_to_json_passes_snapshot_through(self):
+        snap = _populated_registry().snapshot()
+        assert to_json(snap) is snap
+
+
+class TestMetricsHTTPServer:
+    @pytest.fixture()
+    def server(self):
+        reg = _populated_registry()
+        server = MetricsHTTPServer(reg.snapshot)
+        yield server
+        server.close()
+
+    def _get(self, server, path):
+        url = f"http://127.0.0.1:{server.port}{path}"
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return (response.status, response.headers.get("Content-Type"),
+                    response.read().decode("utf-8"))
+
+    def test_metrics_route_serves_prometheus_text(self, server):
+        status, ctype, body = self._get(server, "/metrics")
+        assert status == 200
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+        assert 'repro_requests_total{op="embed"} 3' in body
+
+    def test_root_route_aliases_metrics(self, server):
+        _, ctype, body = self._get(server, "/")
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+        assert "# TYPE repro_requests_total counter" in body
+
+    def test_json_route_serves_snapshot(self, server):
+        status, ctype, body = self._get(server, "/metrics.json")
+        assert status == 200
+        assert ctype == "application/json"
+        snap = json.loads(body)
+        assert snap["repro_requests_total"]["type"] == "counter"
+        assert snap["repro_requests_total"]["values"] == [[["embed"], 3.0]]
+
+    def test_scrape_is_live_not_cached(self, server):
+        # the collect callable runs per scrape, so new increments show up
+        _, _, before = self._get(server, "/metrics")
+        # reach back into the fixture registry through the server hook
+        server._httpd.collect_snapshot.__self__.counter(
+            "repro_requests_total", "Requests served.",
+            ("op",)).labels("embed").inc(7)
+        _, _, after = self._get(server, "/metrics")
+        assert 'repro_requests_total{op="embed"} 3' in before
+        assert 'repro_requests_total{op="embed"} 10' in after
+
+    def test_unknown_route_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._get(server, "/nope")
+        assert excinfo.value.code == 404
+
+    def test_port_is_bound_and_reported(self, server):
+        assert server.port > 0

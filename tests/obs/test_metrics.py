@@ -1,0 +1,216 @@
+"""Unit tests for the metrics substrate (:mod:`repro.obs.metrics`):
+families and children, snapshot/restore, cross-process merge, shard
+relabeling."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S, MetricsRegistry, merge, relabel,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_counters_only_go_up(self):
+        c = MetricsRegistry().counter("x_total")
+        with pytest.raises(ValueError):
+            c.labels().inc(-1)
+
+    def test_labeled_children_are_independent_and_cached(self):
+        c = MetricsRegistry().counter("req_total", labelnames=("op",))
+        c.labels("embed").inc(3)
+        c.labels(op="compare").inc()
+        assert c.labels("embed") is c.labels("embed")
+        assert c.labels("embed").value == 3
+        assert c.labels("compare").value == 1
+
+    def test_label_arity_and_unknown_names_rejected(self):
+        c = MetricsRegistry().counter("req_total", labelnames=("op",))
+        with pytest.raises(ValueError):
+            c.labels()
+        with pytest.raises(ValueError):
+            c.labels("a", "b")
+        with pytest.raises(ValueError):
+            c.labels(nope="x")
+
+    def test_thread_safety_loses_no_increments(self):
+        c = MetricsRegistry().counter("x_total").labels()
+
+        def spin():
+            for _ in range(5000):
+                c.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 20000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(5)
+        g.inc(2)
+        g.labels().dec()
+        assert g.value == 6
+
+    def test_set_max_keeps_high_water_mark(self):
+        g = MetricsRegistry().gauge("hwm", agg="max")
+        g.set_max(4)
+        g.set_max(2)
+        assert g.value == 4
+
+    def test_unknown_agg_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().gauge("g", agg="median")
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        h = MetricsRegistry().histogram("lat_seconds",
+                                        buckets=(0.01, 0.1, 1.0))
+        child = h.labels()
+        child.observe(0.005)   # slot 0
+        child.observe(0.05)    # slot 1
+        child.observe(0.05)
+        child.observe(50.0)    # overflow
+        assert child.counts == [1, 2, 0, 1]
+        assert child.count == 4
+        assert child.sum == pytest.approx(50.105)
+
+    def test_buckets_must_ascend(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=(1.0, 1.0))
+
+    def test_default_buckets_span_serving_latencies(self):
+        assert LATENCY_BUCKETS_S[0] == pytest.approx(1e-4)
+        assert LATENCY_BUCKETS_S[-1] == pytest.approx(10.0)
+        assert list(LATENCY_BUCKETS_S) == sorted(LATENCY_BUCKETS_S)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total") is reg.counter("a_total")
+
+    def test_type_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total")
+        with pytest.raises(ValueError):
+            reg.gauge("a_total")
+
+    def test_label_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", labelnames=("op",))
+        with pytest.raises(ValueError):
+            reg.counter("a_total", labelnames=("shard",))
+
+    def test_get_and_families(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a_total")
+        assert reg.get("a_total") is c
+        assert reg.get("missing") is None
+        assert reg.families() == [c]
+
+
+class TestSnapshotRestore:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "help!", ("op",)).labels("embed").inc(3)
+        reg.gauge("g", agg="max").set_max(7)
+        reg.histogram("h_seconds", buckets=(0.1, 1.0)).labels().observe(0.5)
+        return reg
+
+    def test_snapshot_is_json_able_and_complete(self):
+        import json
+
+        snap = self._populated().snapshot()
+        json.dumps(snap)   # plain data, no objects
+        assert snap["c_total"]["type"] == "counter"
+        assert snap["c_total"]["values"] == [[["embed"], 3.0]]
+        assert snap["g"]["agg"] == "max"
+        assert snap["h_seconds"]["buckets"] == [0.1, 1.0]
+        [(lv, dumped)] = snap["h_seconds"]["values"]
+        assert dumped == {"counts": [0, 1, 0], "sum": 0.5, "count": 1}
+
+    def test_restore_round_trips_bitwise(self):
+        snap = self._populated().snapshot()
+        reg2 = MetricsRegistry()
+        reg2.restore(snap)
+        assert reg2.snapshot() == snap
+
+    def test_restore_into_partially_populated_registry(self):
+        snap = self._populated().snapshot()
+        reg2 = MetricsRegistry()
+        reg2.counter("c_total", "help!", ("op",)).labels("embed").inc(99)
+        reg2.restore(snap)    # load overwrites, it does not add
+        assert reg2.counter("c_total", "help!",
+                            ("op",)).labels("embed").value == 3
+
+
+class TestMergeAndRelabel:
+    def test_relabel_prepends_dimension(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labelnames=("op",)).labels("embed").inc(2)
+        shard = relabel(reg.snapshot(), shard="3")
+        assert shard["c_total"]["labels"] == ["shard", "op"]
+        assert shard["c_total"]["values"] == [[["3", "embed"], 2.0]]
+
+    def test_merge_sums_counters_and_histograms(self):
+        regs = []
+        for n in (1, 2):
+            reg = MetricsRegistry()
+            reg.counter("c_total").inc(n)
+            reg.histogram("h_s", buckets=(1.0,)).labels().observe(0.5)
+            regs.append(reg)
+        merged = merge([r.snapshot() for r in regs])
+        assert merged["c_total"]["values"] == [[[], 3.0]]
+        [(_, dumped)] = merged["h_s"]["values"]
+        assert dumped["counts"] == [2, 0]
+        assert dumped["count"] == 2
+
+    def test_merge_honours_gauge_agg_modes(self):
+        snaps = []
+        for value in (3.0, 7.0, 5.0):
+            reg = MetricsRegistry()
+            reg.gauge("depth", agg="sum").set(value)
+            reg.gauge("hwm", agg="max").set(value)
+            reg.gauge("uptime", agg="last").set(value)
+            snaps.append(reg.snapshot())
+        merged = merge(snaps)
+        values = {name: merged[name]["values"][0][1]
+                  for name in ("depth", "hwm", "uptime")}
+        assert values == {"depth": 15.0, "hwm": 7.0, "uptime": 5.0}
+
+    def test_merge_skips_none_and_keeps_disjoint_rows(self):
+        a = MetricsRegistry()
+        a.counter("c_total", labelnames=("op",)).labels("x").inc()
+        b = MetricsRegistry()
+        b.counter("c_total", labelnames=("op",)).labels("y").inc(2)
+        merged = merge([None, a.snapshot(), {}, b.snapshot()])
+        rows = dict((tuple(lv), v)
+                    for lv, v in merged["c_total"]["values"])
+        assert rows == {("x",): 1.0, ("y",): 2.0}
+
+    def test_merge_of_relabeled_shards_preserves_identity(self):
+        snaps = []
+        for shard in ("0", "1"):
+            reg = MetricsRegistry()
+            reg.counter("hits_total").inc(int(shard) + 1)
+            snaps.append(relabel(reg.snapshot(), shard=shard))
+        merged = merge(snaps)
+        rows = dict((tuple(lv), v)
+                    for lv, v in merged["hits_total"]["values"])
+        assert rows == {("0",): 1.0, ("1",): 2.0}

@@ -1,0 +1,313 @@
+"""Observability surface tests: the ``metrics`` JSONL op, key parity
+between registry snapshots and the historical ``stats()`` dicts, the
+cluster-merged exposition (per-shard series + totals parity), and the
+HTTP scrape endpoint staying truthful while a worker is SIGKILLed.
+
+Single-process classes run in-process; the cluster classes spawn real
+worker subprocesses (marked slow) and inject faults deterministically
+via seeded FaultPlans — nothing here sleeps hoping for an outcome.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.core import build_model
+from repro.obs.expose import PROMETHEUS_CONTENT_TYPE
+from repro.serve import PredictionService, save_checkpoint
+from repro.serve.cluster import ClusterClient, ClusterServer
+from repro.serve.protocol import handle_request
+
+from .test_cluster import fast_config, wait_until
+from .test_service_e2e import variants
+
+
+def family_rows(snapshot, name):
+    """{labelvalues-tuple: dumped} for one family of a snapshot."""
+    return {tuple(lv): dumped
+            for lv, dumped in snapshot.get(name, {}).get("values", [])}
+
+
+def shard_sum(snapshot, name):
+    """Total of a shard-labeled counter across every row."""
+    return sum(family_rows(snapshot, name).values())
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model(embedding_dim=16, hidden_size=16, seed=2)
+
+
+@pytest.fixture()
+def service(model):
+    with PredictionService(model, threaded=False) as svc:
+        yield svc
+
+
+class TestMetricsOp:
+    """The ``metrics`` JSONL op on a single-process service."""
+
+    def test_snapshot_reflects_served_requests(self, service):
+        sources = variants(3)
+        for source in sources:
+            assert handle_request(service, {"op": "embed",
+                                            "source": source})["ok"]
+        handle_request(service, {"op": "compare", "first": sources[0],
+                                 "second": sources[1]})
+        reply = handle_request(service, {"op": "metrics"})
+        assert reply["ok"] is True
+        snap = reply["metrics"]
+        requests = family_rows(snap, "repro_serve_requests_total")
+        assert requests[("embed",)] == 3.0
+        assert requests[("compare",)] == 1.0
+        latency = family_rows(snap, "repro_serve_request_latency_seconds")
+        assert latency[("embed",)]["count"] == 3
+        assert latency[("compare",)]["count"] == 1
+        # the snapshot is wire-safe as-is
+        json.dumps(snap)
+
+    def test_prometheus_format_renders_text(self, service):
+        source = variants(1)[0]
+        handle_request(service, {"op": "embed", "source": source})
+        reply = handle_request(service, {"op": "metrics",
+                                         "format": "prometheus"})
+        assert reply["ok"] is True
+        text = reply["metrics_text"]
+        assert "metrics" not in reply or isinstance(text, str)
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert 'repro_serve_requests_total{op="embed"} 1' in text
+        assert "# TYPE repro_serve_request_latency_seconds histogram" \
+            in text
+        assert 'repro_serve_request_latency_seconds_bucket{op="embed"' \
+            in text
+
+
+class TestStatsParity:
+    """Satellite 2 (single-process half): every number the historical
+    ``stats()`` dict reports must equal its registry series — one source
+    of truth, two views."""
+
+    def _drive(self, service):
+        sources = variants(4)
+        for _ in range(2):                    # repeats make cache hits
+            for source in sources:
+                service.embed(source)
+        service.compare(sources[0], sources[1])
+        return service.stats(), service.metrics_snapshot()
+
+    def test_request_counts_match(self, service):
+        stats, snap = self._drive(service)
+        rows = family_rows(snap, "repro_serve_requests_total")
+        for op in ("embed", "compare", "rank"):
+            assert rows.get((op,), 0.0) == stats["requests"][op]
+        assert sum(rows.values()) == stats["requests"]["total"]
+
+    def test_cache_counters_match(self, service):
+        stats, snap = self._drive(service)
+        cache = stats["cache"]
+        assert shard_sum(snap, "repro_serve_cache_hits_total") \
+            == cache["hits"] > 0
+        assert shard_sum(snap, "repro_serve_cache_misses_total") \
+            == cache["misses"] > 0
+        assert shard_sum(snap, "repro_serve_cache_rejected_total") \
+            == cache["rejected"]
+        assert shard_sum(snap, "repro_serve_cache_size") == cache["size"]
+
+    def test_batcher_flush_triggers_match(self, service):
+        stats, snap = self._drive(service)
+        triggers = stats["batcher"]["flush_triggers"]
+        rows = family_rows(snap, "repro_serve_batcher_flushes_total")
+        assert {lv[0] for lv in rows} == set(triggers)
+        for trigger, count in triggers.items():
+            assert rows[(trigger,)] == count
+        assert sum(triggers.values()) == stats["batcher"]["batches"]
+        hwm = family_rows(snap, "repro_serve_batcher_queue_depth_hwm")
+        assert hwm[()] == stats["batcher"]["queue_depth_hwm"]
+
+    def test_encoder_counters_match(self, service):
+        stats, snap = self._drive(service)
+        assert shard_sum(snap, "repro_serve_encoded_trees_total") \
+            == stats["encoder"]["trees_encoded"] > 0
+
+
+@pytest.fixture(scope="module")
+def checkpoint(model, tmp_path_factory):
+    root = tmp_path_factory.mktemp("metrics_ckpt")
+    return save_checkpoint(model, root / "model.npz")
+
+
+class TestClusterExposition:
+    """Satellite 2 (cluster half): the merged exposition carries
+    per-shard series whose sums equal the ``cluster_stats`` totals."""
+
+    pytestmark = pytest.mark.slow
+
+    def test_merged_snapshot_has_shard_series_matching_totals(
+            self, checkpoint):
+        sources = variants(8)
+        with ClusterServer(checkpoint, workers=2,
+                           config=fast_config()).start() as server:
+            shards = {server.router.shard_for({"op": "embed", "source": s})
+                      for s in sources}
+            assert shards == {0, 1}           # traffic reaches both
+            with ClusterClient(server.address) as client:
+                for _ in range(2):
+                    for source in sources:
+                        assert client.request({"op": "embed",
+                                               "source": source})["ok"]
+
+                def snap_and_totals():
+                    snap = client.request({"op": "metrics"})["metrics"]
+                    totals = client.request({"op": "cluster_stats"}) \
+                        ["stats"]["totals"]
+                    return snap, totals
+
+                def converged():
+                    snap, totals = snap_and_totals()
+                    return (totals["cache_hits"] >= 8
+                            and shard_sum(snap,
+                                          "repro_serve_cache_hits_total")
+                            == totals["cache_hits"]
+                            and shard_sum(snap,
+                                          "repro_serve_requests_total")
+                            == totals["requests"])
+
+                wait_until(converged, message="metrics/stats poll parity")
+                snap, totals = snap_and_totals()
+
+        # per-shard identity survived the merge: a shard label was
+        # prepended to every worker family, with rows for both shards
+        requests = family_rows(snap, "repro_serve_requests_total")
+        assert snap["repro_serve_requests_total"]["labels"] == \
+            ["shard", "op"]
+        assert {lv[0] for lv in requests} == {"0", "1"}
+        hits = family_rows(snap, "repro_serve_cache_hits_total")
+        assert {lv[0] for lv in hits} == {"0", "1"}
+        # per-shard hit rates are derivable: hits and misses align rowwise
+        misses = family_rows(snap, "repro_serve_cache_misses_total")
+        for shard in ("0", "1"):
+            assert hits[(shard,)] + misses[(shard,)] > 0
+        # totals parity with the historical aggregation
+        assert sum(hits.values()) == totals["cache_hits"]
+        assert shard_sum(snap, "repro_serve_cache_misses_total") \
+            == totals["cache_misses"]
+        assert shard_sum(snap, "repro_serve_encoded_trees_total") \
+            == totals["trees_encoded"]
+        assert sum(requests.values()) == totals["requests"]
+        # flush-trigger breakdown survives with both label dims
+        flushes = snap["repro_serve_batcher_flushes_total"]
+        assert flushes["labels"] == ["shard", "trigger"]
+        # the supervisor's own families are present, unlabeled by shard
+        assert family_rows(snap, "repro_cluster_shards")[()] == 2
+
+    def test_cluster_prometheus_text(self, checkpoint):
+        source = variants(1)[0]
+        with ClusterServer(checkpoint, workers=2,
+                           config=fast_config()).start() as server:
+            with ClusterClient(server.address) as client:
+                assert client.request({"op": "embed",
+                                       "source": source})["ok"]
+
+                def text():
+                    return client.request(
+                        {"op": "metrics",
+                         "format": "prometheus"})["metrics_text"]
+
+                wait_until(
+                    lambda: "repro_serve_requests_total{shard=" in text(),
+                    message="worker metrics poll")
+                rendered = text()
+        assert "# TYPE repro_cluster_shards gauge" in rendered
+        assert "repro_cluster_shards 2" in rendered
+        assert "# TYPE repro_serve_cache_misses_total counter" in rendered
+        assert 'repro_serve_batcher_flushes_total{shard="' in rendered
+
+
+class TestScrapeUnderChaos:
+    """Satellite 3: ``metrics_port`` scrapes stay available and lose no
+    aggregates when a worker is SIGKILLed — the supervisor folds the
+    dead worker's last snapshot into a retained base."""
+
+    pytestmark = pytest.mark.slow
+
+    def _scrape(self, port, path="/metrics"):
+        url = f"http://127.0.0.1:{port}{path}"
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return (response.status,
+                    response.headers.get("Content-Type"),
+                    response.read().decode("utf-8"))
+
+    def _shard0_requests(self, port):
+        """Sum of shard-0 request counters from a JSON scrape."""
+        _, _, body = self._scrape(port, "/metrics.json")
+        rows = family_rows(json.loads(body), "repro_serve_requests_total")
+        return sum(v for lv, v in rows.items() if lv[0] == "0")
+
+    def test_sigkill_does_not_lose_scraped_aggregates(self, checkpoint):
+        fault = json.dumps({"seed": 0, "specs": [
+            {"action": "kill", "after_requests": 3}]})
+        with ClusterServer(checkpoint, workers=2, config=fast_config(),
+                           fault_plans={0: fault},
+                           metrics_port=0).start() as server:
+            port = server.metrics_server.port
+            status, ctype, body = self._scrape(port)
+            assert status == 200
+            assert ctype == PROMETHEUS_CONTENT_TYPE
+            assert "# TYPE repro_cluster_shards gauge" in body
+
+            sources = variants(16)
+            shard0 = [s for s in sources if server.router.shard_for(
+                {"op": "embed", "source": s}) == 0]
+            assert len(shard0) >= 4
+            with ClusterClient(server.address) as client:
+                # two requests land on the doomed worker, then wait for
+                # the supervisor's metrics poll to have seen them
+                for source in shard0[:2]:
+                    assert client.request({"op": "embed",
+                                           "source": source},
+                                          timeout=30)["ok"]
+                wait_until(lambda: self._shard0_requests(port) >= 2,
+                           message="pre-kill metrics poll")
+                seen_before_kill = self._shard0_requests(port)
+
+                # request 3 trips the seeded SIGKILL mid-request; the
+                # redispatch still answers the client, and the scrape
+                # endpoint itself must keep serving throughout
+                reply = client.request({"op": "embed",
+                                        "source": shard0[2]}, timeout=30)
+                assert reply["ok"] is True
+                status, _, _ = self._scrape(port)
+                assert status == 200
+                wait_until(
+                    lambda: client.request({"op": "cluster_stats"})
+                    ["stats"]["counters"]["worker_deaths"] >= 1,
+                    message="scheduled worker kill")
+
+                # the dead worker's counters were folded, not dropped:
+                # shard-0 series never goes backwards
+                assert self._shard0_requests(port) >= seen_before_kill
+
+                # the replacement rejoins shard 0 and its fresh counters
+                # merge *on top of* the retained base
+                def rejoined():
+                    workers = client.request({"op": "cluster_stats"}) \
+                        ["stats"]["workers"]
+                    by_shard = {w["shard"]: w for w in workers}
+                    return (0 in by_shard
+                            and by_shard[0]["state"] == "ready"
+                            and by_shard[0]["generation"] >= 2)
+
+                wait_until(rejoined, message="shard-0 restart")
+                for source in shard0[:2]:       # replay onto generation 2
+                    assert client.request({"op": "embed",
+                                           "source": source},
+                                          timeout=30)["ok"]
+                wait_until(
+                    lambda: self._shard0_requests(port)
+                    >= seen_before_kill + 2,
+                    message="post-restart metrics to accumulate")
+            # death is also visible as a first-class supervisor series
+            _, _, body = self._scrape(port)
+            assert 'repro_cluster_supervisor_total{counter="worker_deaths"} 1' \
+                in body

@@ -79,6 +79,30 @@ def test_eventually():
         rules = {v.rule for v in archlint.scan(root)}
         assert "sleep-in-serve-tests" in rules
 
+    def test_print_in_serve_tier_is_caught(self, tmp_path):
+        root = self.seed(tmp_path, "src/repro/serve/debuggy.py", """
+def handle(request):
+    print("got", request)
+    return request
+""")
+        rules = {v.rule for v in archlint.scan(root)}
+        assert "print-outside-obs" in rules
+
+    def test_print_in_engine_tier_is_caught(self, tmp_path):
+        root = self.seed(tmp_path, "src/repro/engine/peek.py",
+                         "def show(x):\n    print(x)\n")
+        rules = {v.rule for v in archlint.scan(root)}
+        assert "print-outside-obs" in rules
+
+    def test_counter_dict_in_serve_tier_is_caught(self, tmp_path):
+        root = self.seed(tmp_path, "src/repro/serve/tally.py", """
+class Tally:
+    def __init__(self):
+        self._counts = {"hits": 0, "misses": 0}
+""")
+        rules = {v.rule for v in archlint.scan(root)}
+        assert "adhoc-counter-dict" in rules
+
     def test_cli_exit_code_is_one_on_violation(self, tmp_path, capsys):
         root = self.seed(tmp_path, "src/repro/driver.py",
                          "def f(o):\n    o.opt.step()\n")
@@ -125,6 +149,43 @@ def wait_until(predicate):
         # optimizer unit tests under tests/ are out of scope
         root = self.seed(tmp_path, "tests/serve/test_opt.py",
                          "def test_step(opt):\n    opt.step()\n")
+        assert archlint.scan(root) == []
+
+    def test_obs_package_may_print(self, tmp_path):
+        # obs/ is the reporting layer; its exposition code is exempt
+        root = self.seed(tmp_path, "src/repro/obs/dump.py",
+                         "def dump(s):\n    print(s)\n")
+        assert archlint.scan(root) == []
+
+    def test_print_outside_serve_engine_is_out_of_scope(self, tmp_path):
+        root = self.seed(tmp_path, "src/repro/cli_extra.py",
+                         "def banner():\n    print('hi')\n")
+        assert archlint.scan(root) == []
+
+    def test_allow_print_pragma_is_honoured(self, tmp_path):
+        root = self.seed(tmp_path, "src/repro/engine/progress.py", """
+def line(msg):
+    print(msg)  # archlint: allow-print (user-facing progress line)
+""")
+        assert archlint.scan(root) == []
+
+    def test_allow_counter_dict_pragma_is_honoured(self, tmp_path):
+        root = self.seed(tmp_path, "src/repro/serve/views.py", """
+class View:
+    def __init__(self, fam):
+        self.counts_by_op = {  # archlint: allow-counter-dict (view)
+            name: fam.labels(name) for name in ("a", "b")}
+""")
+        assert archlint.scan(root) == []
+
+    def test_local_counter_dict_is_allowed(self, tmp_path):
+        # the rule targets instance state; a local aggregation dict in a
+        # stats() view is exactly the sanctioned pattern
+        root = self.seed(tmp_path, "src/repro/serve/summary.py", """
+def stats(families):
+    counts = {name: f.value for name, f in families.items()}
+    return counts
+""")
         assert archlint.scan(root) == []
 
     def test_docstrings_and_comments_cannot_trip_rules(self, tmp_path):

@@ -138,3 +138,83 @@ class TestMain:
         payload = json.loads(capsys.readouterr().out)
         assert payload["benchmarks_tracked"] == 1
         assert payload["findings"][0]["name"] == "step"
+
+
+class TestMachineFingerprint:
+    """--strict compares same-machine artifacts only (satellite of the
+    observability PR): run_microbench stamps `machine.fingerprint` and
+    check_drift filters each history to the newest point's machine."""
+
+    def _stamped(self, tmp_path, pr, means, fingerprint):
+        payload = {"benchmarks": [{"name": n, "stats": {"mean": m}}
+                                  for n, m in means.items()],
+                   "machine": {"fingerprint": fingerprint}}
+        (tmp_path / f"BENCH_PR{pr}.json").write_text(json.dumps(payload))
+
+    def test_load_machines_reads_stamps_and_skips_unstamped(self, tmp_path):
+        from benchmarks.trend_check import load_machines
+
+        self._stamped(tmp_path, 1, {"a": 0.1}, "boxA")
+        _artifact(tmp_path, 2, {"a": 0.1})          # pre-stamp artifact
+        self._stamped(tmp_path, 3, {"a": 0.1}, "boxB")
+        assert load_machines(tmp_path) == {1: "boxA", 3: "boxB"}
+
+    def test_cross_machine_jump_not_flagged_with_machines(self):
+        # history on boxA, newest on boxB looks 3x slower — with the
+        # machine map the series has no same-machine history, so it is
+        # not judged at all
+        series = {"step": [(1, 0.1), (2, 0.1), (3, 0.1), (4, 0.3)]}
+        machines = {1: "boxA", 2: "boxA", 3: "boxA", 4: "boxB"}
+        assert check_drift(series, machines=machines) == []
+        # without the map the same series is a regression
+        assert [f["kind"] for f in check_drift(series)] == ["regression"]
+
+    def test_same_machine_regression_still_flagged(self):
+        series = {"step": [(1, 0.1), (2, 0.1), (3, 0.1), (4, 0.3)]}
+        machines = {pr: "boxA" for pr in (1, 2, 3, 4)}
+        findings = check_drift(series, machines=machines)
+        assert [f["kind"] for f in findings] == ["regression"]
+
+    def test_other_machine_points_dropped_from_history(self):
+        # boxB's slow points must not poison boxA's band
+        series = {"step": [(1, 0.1), (2, 0.9), (3, 0.1), (4, 0.9),
+                           (5, 0.1), (6, 0.1), (7, 0.3)]}
+        machines = {1: "boxA", 2: "boxB", 3: "boxA", 4: "boxB",
+                    5: "boxA", 6: "boxA", 7: "boxA"}
+        findings = check_drift(series, machines=machines)
+        assert [f["kind"] for f in findings] == ["regression"]
+
+    def test_unstamped_latest_keeps_full_history(self):
+        series = {"step": [(1, 0.1), (2, 0.1), (3, 0.1), (4, 0.3)]}
+        machines = {1: "boxA", 2: "boxA", 3: "boxA"}   # 4 predates stamps
+        findings = check_drift(series, machines=machines)
+        assert [f["kind"] for f in findings] == ["regression"]
+
+    def test_strict_main_filters_by_machine(self, tmp_path):
+        for pr in (1, 2, 3):
+            self._stamped(tmp_path, pr, {"step": 0.1}, "boxA")
+        self._stamped(tmp_path, 4, {"step": 0.3}, "boxB")
+        # report-only mode sees a cross-machine regression; strict mode
+        # filters to boxB's (empty) history and passes
+        assert main(["--root", str(tmp_path)]) == 0
+        assert main(["--root", str(tmp_path), "--strict"]) == 0
+        # same machine throughout -> strict still gates
+        self._stamped(tmp_path, 4, {"step": 0.3}, "boxA")
+        assert main(["--root", str(tmp_path), "--strict"]) == 1
+
+    def test_run_microbench_fingerprint_is_stable(self):
+        from benchmarks.run_microbench import machine_fingerprint
+
+        first, second = machine_fingerprint(), machine_fingerprint()
+        assert first == second
+        assert set(first) == {"hostname_hash", "cpu_count", "numpy",
+                              "fingerprint"}
+        assert first["hostname_hash"] in first["fingerprint"]
+
+    def test_repo_pr9_artifact_is_stamped(self):
+        from pathlib import Path
+
+        from benchmarks.trend_check import load_machines
+
+        repo_root = Path(__file__).resolve().parents[1]
+        assert 9 in load_machines(repo_root)

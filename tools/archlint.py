@@ -24,6 +24,18 @@ it) and fails CI on:
     driven by seeded fault plans, not wall-clock waits. A genuinely
     bounded poll may carry a same-line ``# archlint: allow-sleep``
     pragma with a reason.
+``print-outside-obs``
+    A ``print(`` call in ``src/repro/serve/`` or ``src/repro/engine/``
+    outside ``src/repro/obs/`` — the serving and training tiers report
+    through the obs registry / structured replies, not stdout. A
+    deliberate user-facing line carries ``# archlint: allow-print``.
+``adhoc-counter-dict``
+    A dict-literal counter store (an attribute named ``counters``,
+    ``_counts``, ``flush_triggers``, … assigned ``{...}``) in
+    ``src/repro/serve/`` or ``src/repro/engine/`` — counters belong on
+    the :mod:`repro.obs.metrics` registry so one snapshot covers them
+    all. Annotate a non-metric mapping with
+    ``# archlint: allow-counter-dict``.
 
 Usage::
 
@@ -44,7 +56,8 @@ from pathlib import Path
 __all__ = ["Violation", "check_source", "scan", "main", "RULES"]
 
 RULES = ("training-loop-outside-engine", "kernel-outside-backend",
-         "sleep-in-serve-tests")
+         "sleep-in-serve-tests", "print-outside-obs",
+         "adhoc-counter-dict")
 
 #: the one file allowed to drive optimizer steps and epoch loops
 _ENGINE_LOOP = "src/repro/engine/loop.py"
@@ -53,6 +66,13 @@ _KERNEL_HOMES = frozenset({"src/repro/nn/backend.py",
                            "src/repro/nn/_numba_kernels.py"})
 #: receivers whose ``.step()`` is a training-loop step
 _STEP_RECEIVERS = ("opt", "sched")
+#: trees whose counters must live on the obs registry (and whose
+#: stdout is reserved for protocol payloads)
+_OBS_DISCIPLINE_TREES = ("src/repro/serve/", "src/repro/engine/")
+_OBS_HOME = "src/repro/obs/"
+#: attribute names that smell like an ad-hoc counter store
+_COUNTER_ATTR_MARKERS = ("counter", "_counts", "counts_",
+                         "flush_triggers", "_hits", "_misses")
 _PRAGMA = "# archlint: allow-"
 
 
@@ -104,6 +124,25 @@ def _is_sleep_call(call: ast.Call) -> bool:
     return isinstance(func, ast.Name) and func.id == "sleep"
 
 
+def _is_print_call(call: ast.Call) -> bool:
+    return isinstance(call.func, ast.Name) and call.func.id == "print"
+
+
+def _is_counter_dict_assign(node: ast.Assign) -> bool:
+    """An attribute whose name smells like a counter store, assigned a
+    dict literal / comprehension (``self.counters = {...}``). Local
+    variables are fine — the rule targets *instance state* that stats()
+    would have to hand-aggregate."""
+    if not isinstance(node.value, (ast.Dict, ast.DictComp)):
+        return False
+    for target in node.targets:
+        if isinstance(target, ast.Attribute):
+            name = target.attr.lower()
+            if any(marker in name for marker in _COUNTER_ATTR_MARKERS):
+                return True
+    return False
+
+
 def _allowed(lines: list[str], lineno: int, rule_suffix: str) -> bool:
     if not 1 <= lineno <= len(lines):
         return False
@@ -142,6 +181,26 @@ def check_source(rel_path: str, source: str) -> list[Violation]:
                     "kernel-outside-backend", rel, node.lineno,
                     "reduceat kernel outside repro.nn.backend; hot "
                     "kernels go through the ops backend"))
+        in_obs_discipline = (any(rel.startswith(t)
+                                 for t in _OBS_DISCIPLINE_TREES)
+                             and not rel.startswith(_OBS_HOME))
+        if in_obs_discipline:
+            if (isinstance(node, ast.Call) and _is_print_call(node)
+                    and not _allowed(lines, node.lineno, "print")):
+                violations.append(Violation(
+                    "print-outside-obs", rel, node.lineno,
+                    "print() in the serve/engine tier; report through "
+                    "the obs registry or a structured reply (or "
+                    "annotate with '# archlint: allow-print <reason>')"))
+            if (isinstance(node, ast.Assign)
+                    and _is_counter_dict_assign(node)
+                    and not _allowed(lines, node.lineno, "counter-dict")):
+                violations.append(Violation(
+                    "adhoc-counter-dict", rel, node.lineno,
+                    "ad-hoc counter dict in the serve/engine tier; put "
+                    "counters on the repro.obs.metrics registry (or "
+                    "annotate with "
+                    "'# archlint: allow-counter-dict <reason>')"))
         if in_serve_tests:
             if (isinstance(node, ast.Call) and _is_sleep_call(node)
                     and not _allowed(lines, node.lineno, "sleep")):
