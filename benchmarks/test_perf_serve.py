@@ -83,6 +83,43 @@ def test_bench_serve_warm_compare(benchmark):
         pass
 
 
+def test_bench_serve_threaded_compare(benchmark):
+    """The warm burst submitted from 4 client threads through the
+    threaded batcher.
+
+    This is the row the cnative backend's GIL story shows up in: its
+    ctypes kernels release the GIL for the duration of every call, so
+    concurrent requests overlap real encode/classifier work instead of
+    time-slicing it. ``run_microbench --backends numpy64,cnative``
+    stamps this as ``...threaded_compare`` and
+    ``...threaded_compare[cnative]`` side by side.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    model = build_model(embedding_dim=16, hidden_size=16)
+    sources = _variants()
+    burst = _compare_burst(sources)
+    service = PredictionService(model, threaded=True, max_batch=32)
+    service.prewarm(sources)
+    pool = ThreadPoolExecutor(max_workers=4)
+
+    def threaded_burst():
+        futures = [pool.submit(service.compare, a, b) for a, b in burst]
+        return [f.result() for f in futures]
+
+    try:
+        probs = benchmark(threaded_burst)
+        assert len(probs) == 32 and all(0.0 < p < 1.0 for p in probs)
+        try:
+            benchmark.extra_info["requests_per_sec"] = \
+                len(burst) / benchmark.stats.stats.mean
+        except (AttributeError, TypeError):
+            pass
+    finally:
+        pool.shutdown()
+        service.close()
+
+
 def test_bench_naive_predict(benchmark):
     """The same burst through per-request predict_probability."""
     model = build_model(embedding_dim=16, hidden_size=16)

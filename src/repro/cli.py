@@ -112,7 +112,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     backend_help = ("kernel backend: numpy64 (default), numpy32 "
                     "(float32 end-to-end), numba (JIT kernels, if "
-                    "installed); overrides REPRO_BACKEND")
+                    "installed), cnative (self-compiled C kernels, if a "
+                    "C compiler is on hand); overrides REPRO_BACKEND")
 
     train = sub.add_parser("train", help="train a comparative model")
     train.add_argument("--backend", default=None, help=backend_help)

@@ -23,6 +23,15 @@ model code**:
   backend is simply unavailable — selecting it raises
   :class:`BackendUnavailableError`, and an ``REPRO_BACKEND=numba``
   environment default silently falls back to ``numpy64``.
+* ``cnative`` — hand-written C kernels (``repro.nn.cnative``), compiled
+  on first use with the system C compiler into a source-hash-keyed
+  build cache and loaded via stdlib ``ctypes``. float64, accumulation
+  in ascending edge order ⇒ the 1e-8 suite applies unchanged, and the
+  deterministic column-partitioned reductions make results bitwise
+  identical for every ``REPRO_NUM_THREADS``. ctypes releases the GIL
+  per call, so serve-tier threads overlap encodes for real. With no
+  compiler (and no cached build) the backend reports unavailable —
+  same fallback contract as ``numba``.
 
 Selection: the ``REPRO_BACKEND`` environment variable at import, the
 ``--backend`` flag of ``repro train`` / ``repro serve``, or
@@ -59,6 +68,17 @@ __all__ = [
 
 class BackendUnavailableError(RuntimeError):
     """The requested backend exists but cannot run here (missing dep)."""
+
+
+def _sigmoid_stable(x: np.ndarray) -> np.ndarray:
+    """Numerically-stable sigmoid, same branch structure as
+    ``Tensor.sigmoid`` so fused-activation outputs match it bitwise."""
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
 
 
 class BufferPool:
@@ -226,6 +246,20 @@ class KernelBackend:
         return self.segment_sum(np.concatenate([a, b], axis=1),
                                 segment_ids, num_segments)
 
+    def segment_sum_pair_gated(self, a: np.ndarray, f: np.ndarray,
+                               c: np.ndarray, segment_ids: np.ndarray,
+                               num_segments: int) -> np.ndarray:
+        """:meth:`segment_sum_pair` with the second operand's
+        forget-gate product ``f ⊙ c`` folded into the sweep.
+
+        The tree-LSTM's upward pass sums ``h`` and ``f ⊙ c`` over the
+        same child-edge list; computing the product per edge inside
+        the sweep skips one full-size temporary (and its graph node).
+        The reference formulation *is* the composed one, so float64
+        results are bitwise identical to ``segment_sum_pair(a, f*c)``.
+        """
+        return self.segment_sum_pair(a, f * c, segment_ids, num_segments)
+
     def take_rows(self, data: np.ndarray, rows: np.ndarray) -> np.ndarray:
         """Row gather ``data[rows]`` (embedding/state lookup)."""
         return data[rows]
@@ -249,15 +283,117 @@ class KernelBackend:
         np.add.at(out, rows, values)
 
     def gemm_gates(self, base: np.ndarray, mat: np.ndarray,
-                   weight: np.ndarray) -> np.ndarray:
+                   weight: np.ndarray,
+                   activation: str | None = None) -> np.ndarray:
         """The gate projection ``base + mat @ weight.T`` (one GEMM).
 
         ``base`` may broadcast (a bias row) or match the output shape
         (a precomputed input projection); :meth:`gemm_gates` is the
         forward of ``Tensor.addmm``, the fused op every LSTM/tree-LSTM
         gate and linear layer routes through.
+
+        ``activation`` fuses the gate nonlinearity into the kernel
+        (``"sigmoid"``, ``"tanh"``, or ``"iou"`` — sigmoid on the first
+        two thirds of the columns, tanh on the last third, matching the
+        tree-LSTM's packed i|o|u gate block; compiled backends apply it
+        in the same pass as the GEMM). The NumPy implementation applies
+        the exact formulations ``Tensor.sigmoid``/``tanh`` use, so
+        fusing is bitwise-neutral on float64.
         """
-        return base + mat @ weight.T
+        out = base + mat @ weight.T
+        if activation is None:
+            return out
+        if activation == "sigmoid":
+            return _sigmoid_stable(out)
+        if activation == "tanh":
+            return np.tanh(out)
+        if activation == "iou":
+            if out.shape[-1] % 3:
+                raise ValueError(
+                    "iou activation needs a column count divisible by 3, "
+                    f"got {out.shape[-1]}")
+            two = 2 * (out.shape[-1] // 3)
+            out[..., :two] = _sigmoid_stable(out[..., :two])
+            out[..., two:] = np.tanh(out[..., two:])
+            return out
+        raise ValueError(f"unknown gemm_gates activation {activation!r}")
+
+    def act_backward(self, grad: np.ndarray, out: np.ndarray,
+                     activation: str) -> np.ndarray:
+        """Backward of the fused :meth:`gemm_gates` activation: fold
+        the derivative into ``grad``, given the *post*-activation
+        values ``out``.
+
+        The NumPy formulation uses the exact expressions the unfused
+        ``Tensor.sigmoid``/``tanh`` backwards use, so fusing stays
+        bitwise-neutral on float64; compiled backends do the same math
+        in one pass instead of several elementwise temporaries.
+        """
+        if activation == "sigmoid":
+            return grad * out * (1.0 - out)
+        if activation == "tanh":
+            return grad * (1.0 - out ** 2)
+        if activation == "iou":
+            two = 2 * (out.shape[-1] // 3)
+            g = np.empty_like(grad)
+            sig = out[..., :two]
+            g[..., :two] = grad[..., :two] * sig * (1.0 - sig)
+            th = out[..., two:]
+            g[..., two:] = grad[..., two:] * (1.0 - th ** 2)
+            return g
+        raise ValueError(f"unknown gemm_gates activation {activation!r}")
+
+    def lstm_cell(self, iou: np.ndarray,
+                  fc: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Fused pointwise (tree-)LSTM cell on the *post*-activation
+        packed gate block ``iou = [σ(i) | σ(o) | tanh(u)]`` and the
+        forget-gated cell sum ``fc``::
+
+            c = i ⊙ u + fc          h = o ⊙ tanh(c)
+
+        Returns ``(out, th)``: the packed ``(m, 2h)`` block ``[h | c]``
+        (the caller slices it into the two state tensors) plus
+        ``tanh(c)``, which the caller keeps for
+        :meth:`lstm_cell_backward` so the backward never recomputes
+        the transcendental. The elementwise op order matches the
+        historical composed graph (slice → mul → add → tanh → mul),
+        so float64 results are bitwise-identical to the unfused
+        version.
+        """
+        hs = fc.shape[-1]
+        i = iou[..., :hs]
+        o = iou[..., hs:2 * hs]
+        u = iou[..., 2 * hs:]
+        c = i * u + fc
+        th = np.tanh(c)
+        out = np.empty(c.shape[:-1] + (2 * hs,), dtype=c.dtype)
+        out[..., :hs] = o * th
+        out[..., hs:] = c
+        return out, th
+
+    def lstm_cell_backward(self, grad: np.ndarray, iou: np.ndarray,
+                           th: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Backward of :meth:`lstm_cell`.
+
+        ``grad`` is the packed incoming gradient ``[gh | gc]`` (the
+        external consumers of h and c have already accumulated into
+        it), ``iou`` the post-activation gates, ``th`` the ``tanh(c)``
+        the forward returned. Returns ``(giou, gfc)`` using the exact
+        historical formulas, with the tanh-path contribution added to
+        the external c gradient last, the same order the composed
+        graph accumulated it.
+        """
+        hs = th.shape[-1]
+        i = iou[..., :hs]
+        o = iou[..., hs:2 * hs]
+        u = iou[..., 2 * hs:]
+        gh = grad[..., :hs]
+        gc = grad[..., hs:] + (gh * o) * (1.0 - th ** 2)
+        giou = np.empty_like(iou)
+        giou[..., :hs] = gc * u
+        giou[..., hs:2 * hs] = gh * th
+        giou[..., 2 * hs:] = gc * i
+        return giou, gc
 
     # ------------------------------------------------------------------
     # introspection
@@ -354,6 +490,151 @@ class NumbaBackend(Numpy64Backend):
             np.ascontiguousarray(values))
 
 
+class CNativeBackend(Numpy64Backend):
+    """Self-compiled C kernels loaded via ctypes (float64).
+
+    The C implementations (see ``repro.nn.cnative``) accumulate in
+    ascending edge order, so the 1e-8 equivalence bar applies
+    unchanged; the parallel reductions partition by output column,
+    which makes results bitwise identical for every thread count
+    (``REPRO_NUM_THREADS``). The compile happens lazily on the first
+    kernel call — registration and ``available()`` only probe for a
+    compiler / cached object. ctypes releases the GIL for the duration
+    of each call, so threaded servers overlap encode work for real.
+
+    Dispatch guards: 2-D float64 operands take the C path, everything
+    else (odd ranks, float32 operands passed directly, empty index
+    lists) falls back to the NumPy implementations. Plain GEMMs
+    (``activation=None``) always go to BLAS — it wins at every size we
+    measured. GEMMs *with* a fused activation run the compiled loop,
+    which folds the nonlinearity into the same pass over the output
+    and beats BLAS-plus-separate-activation across the gate sizes this
+    codebase emits; above :attr:`gemm_native_max_flops` multiply-adds
+    they fall back to BLAS anyway as a guard rail.
+    """
+
+    name = "cnative"
+    tolerance = 1e-8
+    #: m*n*k ceiling for the compiled fused-activation GEMM; larger
+    #: goes to BLAS + NumPy activation
+    gemm_native_max_flops = 1 << 23
+    #: mirrors ``cnative.ACTIVATION_CODES`` (asserted equal in tests);
+    #: kept local so the hot path skips a per-call module import
+    _act_codes = {None: 0, "sigmoid": 1, "tanh": 2, "iou": 3}
+
+    _native = None                     # process-wide loaded library
+
+    @classmethod
+    def available(cls) -> bool:
+        try:
+            from . import cnative
+        except Exception:
+            return False
+        return cnative.available()
+
+    def _lib(self):
+        if CNativeBackend._native is None:
+            from . import cnative
+            CNativeBackend._native = cnative.load()
+        return CNativeBackend._native
+
+    def segment_sum(self, data, segment_ids, num_segments):
+        if data.ndim != 2 or data.dtype != np.float64 \
+                or segment_ids.size == 0:
+            return super().segment_sum(data, segment_ids, num_segments)
+        return self._lib().segment_sum(data, segment_ids, num_segments)
+
+    def segment_sum_pair(self, a, b, segment_ids, num_segments):
+        if a.ndim != 2 or a.dtype != np.float64 or b.dtype != np.float64 \
+                or a.shape != b.shape or segment_ids.size == 0:
+            return super().segment_sum_pair(a, b, segment_ids,
+                                            num_segments)
+        return self._lib().segment_sum_pair(a, b, segment_ids,
+                                            num_segments)
+
+    def segment_sum_pair_gated(self, a, f, c, segment_ids, num_segments):
+        if a.ndim != 2 or a.dtype != np.float64 or f.dtype != np.float64 \
+                or c.dtype != np.float64 or f.shape != c.shape \
+                or a.shape != f.shape or segment_ids.size == 0:
+            return super().segment_sum_pair_gated(a, f, c, segment_ids,
+                                                  num_segments)
+        return self._lib().segment_sum_pair_gated(a, f, c, segment_ids,
+                                                  num_segments)
+
+    def take_rows(self, data, rows):
+        if data.ndim != 2 or rows.ndim != 1 or data.dtype != np.float64 \
+                or not data.flags.c_contiguous or rows.size == 0:
+            return super().take_rows(data, rows)
+        return self._lib().take_rows(data, rows)
+
+    def gather_rows(self, sources, source_ids, row_ids, used):
+        if (source_ids.size == 0
+                or any(s.ndim != 2 or s.dtype != np.float64
+                       for s in sources)):
+            return super().gather_rows(sources, source_ids, row_ids, used)
+        return self._lib().gather_rows(sources, source_ids, row_ids)
+
+    def scatter_add_rows(self, out, rows, values):
+        if out.ndim != 2 or values.ndim != 2 \
+                or out.dtype != np.float64 or values.dtype != np.float64 \
+                or not out.flags.c_contiguous or rows.size == 0:
+            super().scatter_add_rows(out, rows, values)
+            return
+        self._lib().scatter_add_rows(out, rows, values)
+
+    def gemm_gates(self, base, mat, weight, activation=None):
+        try:
+            act = self._act_codes[activation]
+        except KeyError:
+            raise ValueError(
+                f"unknown gemm_gates activation {activation!r}") from None
+        if (activation is None         # plain GEMM: BLAS wins at any size
+                or mat.ndim != 2 or weight.ndim != 2
+                or mat.dtype != np.float64 or weight.dtype != np.float64
+                or base.dtype != np.float64
+                or mat.shape[1] != weight.shape[1]):
+            return super().gemm_gates(base, mat, weight, activation)
+        m, k = mat.shape
+        n = weight.shape[0]
+        if activation == "iou" and n % 3:
+            return super().gemm_gates(base, mat, weight, activation)
+        if base.ndim == 1 and base.shape[0] == n:
+            base_mode = 0
+        elif base.ndim == 2 and base.shape == (m, n):
+            base_mode = 1
+        else:
+            return super().gemm_gates(base, mat, weight, activation)
+        if m * n * k > self.gemm_native_max_flops:
+            return super().gemm_gates(base, mat, weight, activation)
+        return self._lib().gemm_gates(base, base_mode, mat, weight, act)
+
+    def act_backward(self, grad, out, activation):
+        act = self._act_codes.get(activation)
+        if (not act or grad.ndim != 2
+                or grad.dtype != np.float64 or out.dtype != np.float64
+                or grad.shape != out.shape
+                or (activation == "iou" and grad.shape[1] % 3)):
+            return super().act_backward(grad, out, activation)
+        two = 2 * (grad.shape[1] // 3) if activation == "iou" else 0
+        return self._lib().act_backward(grad, out, two, act)
+
+    def lstm_cell(self, iou, fc):
+        if (iou.ndim != 2 or fc.ndim != 2
+                or iou.dtype != np.float64 or fc.dtype != np.float64
+                or iou.shape != (fc.shape[0], 3 * fc.shape[1])):
+            return super().lstm_cell(iou, fc)
+        return self._lib().lstm_cell(iou, fc)
+
+    def lstm_cell_backward(self, grad, iou, th):
+        if (grad.ndim != 2 or iou.ndim != 2 or th.ndim != 2
+                or grad.dtype != np.float64 or iou.dtype != np.float64
+                or th.dtype != np.float64
+                or grad.shape != (th.shape[0], 2 * th.shape[1])
+                or iou.shape != (th.shape[0], 3 * th.shape[1])):
+            return super().lstm_cell_backward(grad, iou, th)
+        return self._lib().lstm_cell_backward(grad, iou, th)
+
+
 # ----------------------------------------------------------------------
 # registry + selection
 # ----------------------------------------------------------------------
@@ -371,6 +652,7 @@ def register(backend: KernelBackend) -> KernelBackend:
 register(Numpy64Backend())
 register(Numpy32Backend())
 register(NumbaBackend())
+register(CNativeBackend())
 
 _ACTIVE: KernelBackend = _REGISTRY["numpy64"]
 

@@ -1,0 +1,214 @@
+"""Self-compiling build cache for the ``cnative`` kernels.
+
+``kernels.c`` is compiled on first use with the system C compiler into
+a shared object under a **source-hash-keyed** directory::
+
+    ~/.cache/repro/cnative/<digest>/libreprokernels-<digest>.so
+
+(override the root with ``REPRO_CACHE_DIR``).  The digest covers the C
+source *and* the compile flags, so editing either lands in a fresh
+directory and the stale build is simply never looked at again — there
+is no mtime comparison to race.  The compile writes to a
+pid-suffixed temp name in the same directory and ``os.replace``s it
+into place, so concurrent first-use builds (e.g. a cluster's N workers
+starting cold) each produce a complete object and the last rename
+wins atomically.
+
+The toolchain's capabilities are probed, not assumed, best mode first:
+
+1. ``vec``  — OpenMP plus vectorized libm epilogues: the object is
+   compiled with ``-ffast-math -DREPRO_VECMATH`` (glibc's libmvec
+   supplies SIMD exp/tanh) but **linked without** fast-math flags so
+   ``crtfastmath.o`` cannot flip the process's MXCSR — flush-to-zero
+   would silently change *numpy's* results process-wide.
+2. ``omp``  — plain ``-fopenmp``, scalar libm.
+3. ``serial`` — no OpenMP; the pragmas are ignored.
+
+A ``meta.json`` next to the object records which mode won.
+
+No compiler and no cached object ⇒ :func:`available` is ``False`` and
+the backend registry treats ``cnative`` like any other unavailable
+optional backend (``REPRO_BACKEND=cnative`` warns and falls back to
+``numpy64``; an explicit ``set_backend`` raises).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import subprocess
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "CNativeBuildError", "BuildResult", "SOURCE_PATH", "BASE_CFLAGS",
+    "cache_root", "find_compiler", "source_digest", "build_library",
+    "available",
+]
+
+#: the hand-written kernels shipped next to this module
+SOURCE_PATH = Path(__file__).with_name("kernels.c")
+
+#: flags every build gets; -fopenmp / vector-math are probed separately
+BASE_CFLAGS = ("-O3", "-fPIC", "-shared")
+
+#: probe order (best first); see the module docstring
+_MODES = ("vec", "omp", "serial")
+
+#: bump to invalidate every cached object on wrapper-contract or
+#: compile-strategy changes
+_ABI_TAG = "cnative-v2"
+
+
+class CNativeBuildError(RuntimeError):
+    """The kernels could not be compiled (no/broken toolchain)."""
+
+
+@dataclass(frozen=True)
+class BuildResult:
+    """Where the shared object landed and how it got there."""
+
+    path: Path          #: the .so, inside its digest-keyed directory
+    digest: str         #: hash of (source, flags, ABI tag)
+    compiled: bool      #: False = cache hit, True = this call compiled
+    openmp: bool        #: built with -fopenmp
+    compiler: str       #: compiler used ("" on a cache hit w/o meta)
+
+
+def cache_root() -> Path:
+    """Build-cache root: ``$REPRO_CACHE_DIR/cnative`` or
+    ``~/.cache/repro/cnative``."""
+    env = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    base = Path(env) if env else Path.home() / ".cache" / "repro"
+    return base / "cnative"
+
+
+def find_compiler() -> str | None:
+    """Path of a usable C compiler, or ``None``.
+
+    ``$CC`` wins when set (a path is checked for executability, a bare
+    name is resolved on PATH); otherwise the conventional names are
+    tried in order.  This is a cheap existence probe — the real test
+    is the compile itself.
+    """
+    candidates = []
+    cc_env = os.environ.get("CC", "").strip()
+    if cc_env:
+        candidates.append(cc_env)
+    candidates += ["cc", "gcc", "clang"]
+    for name in candidates:
+        if os.sep in name:
+            if os.path.isfile(name) and os.access(name, os.X_OK):
+                return name
+        else:
+            path = shutil.which(name)
+            if path:
+                return path
+    return None
+
+
+def source_digest(source: str) -> str:
+    """Stable key for one (source, flags, ABI) combination."""
+    payload = "\x00".join((_ABI_TAG, " ".join(BASE_CFLAGS), source))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _compile(compiler: str, src: Path, out: Path,
+             mode: str) -> subprocess.CompletedProcess:
+    if mode == "vec":
+        # Two stages: fast-math applies to the OBJECT only.  Linking a
+        # shared library with -ffast-math would pull in crtfastmath.o,
+        # whose constructor sets flush-to-zero for the whole process
+        # the moment the library is dlopen'ed — changing numpy's own
+        # float64 results.  Compile-then-plain-link keeps the SIMD
+        # libm calls and leaves the FPU control word alone.
+        obj = out.with_suffix(".o")
+        proc = subprocess.run(
+            [compiler, "-O3", "-fPIC", "-fopenmp", "-ffast-math",
+             "-DREPRO_VECMATH", "-c", str(src), "-o", str(obj)],
+            capture_output=True, text=True)
+        if proc.returncode == 0:
+            proc = subprocess.run(
+                [compiler, "-shared", "-fopenmp", str(obj), "-o",
+                 str(out), "-lmvec", "-lm"],
+                capture_output=True, text=True)
+        obj.unlink(missing_ok=True)
+        return proc
+    flags = list(BASE_CFLAGS) + (["-fopenmp"] if mode == "omp" else [])
+    cmd = [compiler, *flags, str(src), "-o", str(out), "-lm"]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def build_library(source: str | None = None,
+                  cache_dir: Path | None = None) -> BuildResult:
+    """Compile (or reuse) the kernels; returns the shared object path.
+
+    ``source`` defaults to the shipped ``kernels.c``; tests pass
+    synthetic sources to exercise the cache without touching the real
+    one.  ``cache_dir`` overrides :func:`cache_root` (tests again).
+    """
+    if source is None:
+        source = SOURCE_PATH.read_text()
+    digest = source_digest(source)
+    build_dir = Path(cache_dir) if cache_dir is not None else cache_root()
+    build_dir = build_dir / digest
+    so_path = build_dir / f"libreprokernels-{digest}.so"
+    meta_path = build_dir / "meta.json"
+
+    if so_path.is_file():
+        openmp, compiler = False, ""
+        try:
+            meta = json.loads(meta_path.read_text())
+            openmp = bool(meta.get("openmp", False))
+            compiler = str(meta.get("compiler", ""))
+        except (OSError, json.JSONDecodeError):
+            pass
+        return BuildResult(so_path, digest, compiled=False, openmp=openmp,
+                           compiler=compiler)
+
+    compiler = find_compiler()
+    if compiler is None:
+        raise CNativeBuildError(
+            "no C compiler found (tried $CC, cc, gcc, clang) and no "
+            f"cached build under {build_dir}")
+
+    build_dir.mkdir(parents=True, exist_ok=True)
+    src_copy = build_dir / "kernels.c"
+    src_copy.write_text(source)
+
+    # Same-directory temp name => os.replace is an atomic rename.
+    tmp = build_dir / f".{so_path.name}.tmp-{os.getpid()}"
+    proc = None
+    mode = _MODES[-1]
+    for mode in _MODES:
+        proc = _compile(compiler, src_copy, tmp, mode)
+        if proc.returncode == 0:
+            break
+    if proc is None or proc.returncode != 0:
+        tmp.unlink(missing_ok=True)
+        raise CNativeBuildError(
+            f"{compiler} failed to build the cnative kernels:\n"
+            f"{proc.stderr.strip() if proc else ''}")
+    os.replace(tmp, so_path)
+    openmp = mode in ("vec", "omp")
+    meta_path.write_text(json.dumps(
+        {"compiler": compiler, "openmp": openmp, "mode": mode,
+         "digest": digest, "flags": list(BASE_CFLAGS)}, indent=2) + "\n")
+    return BuildResult(so_path, digest, compiled=True, openmp=openmp,
+                       compiler=compiler)
+
+
+def available() -> bool:
+    """Can ``cnative`` run here? True when a compiler is on hand or a
+    cached object for the *current* source already exists (a machine
+    can lose its toolchain after the first build and keep running)."""
+    if find_compiler() is not None:
+        return True
+    try:
+        digest = source_digest(SOURCE_PATH.read_text())
+    except OSError:
+        return False
+    return (cache_root() / digest
+            / f"libreprokernels-{digest}.so").is_file()

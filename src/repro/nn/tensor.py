@@ -473,7 +473,8 @@ class Tensor:
         return Tensor._make(out_data, sources, backward)
 
     @staticmethod
-    def addmm(base: "Tensor", mat: "Tensor", weight: "Tensor") -> "Tensor":
+    def addmm(base: "Tensor", mat: "Tensor", weight: "Tensor",
+              activation: str | None = None) -> "Tensor":
         """Fused gate projection: ``base + mat @ weight.T`` as one node.
 
         This is the shape of every linear/gate computation in the repo
@@ -483,6 +484,17 @@ class Tensor:
         outputs straight into the parents, skipping two intermediate
         gradient arrays per gate per level.
 
+        ``activation`` (``"sigmoid"`` / ``"tanh"`` / ``"iou"``) fuses
+        the gate nonlinearity into the same node: the backend kernel
+        applies it in the GEMM epilogue (compiled backends in the same
+        pass over the output) and the backward folds the activation
+        derivative into the incoming gradient before the GEMM backward
+        — the same formulas ``Tensor.sigmoid``/``tanh`` use, so
+        float64 results and gradients stay bitwise-identical to the
+        unfused graph. ``"iou"`` is the tree-LSTM's packed gate block:
+        sigmoid on the first two thirds of the columns, tanh on the
+        last third (column count must be divisible by 3).
+
         ``base`` may broadcast against the GEMM output (a bias row) or
         match it exactly (a precomputed input projection). Falls back to
         the composed ops for non-2-D operands (e.g. 1-D step inputs).
@@ -490,11 +502,24 @@ class Tensor:
         base = Tensor._coerce(base)
         mat = Tensor._coerce(mat)
         weight = Tensor._coerce(weight)
+        if activation not in (None, "sigmoid", "tanh", "iou"):
+            raise ValueError(f"unknown addmm activation {activation!r}")
         if mat.data.ndim != 2 or weight.data.ndim != 2:
-            return base + mat.matmul(weight.T)
-        out_data = _backend.active().gemm_gates(base.data, mat.data, weight.data)
+            if activation == "iou":
+                raise ValueError("iou activation requires 2-D operands")
+            out = base + mat.matmul(weight.T)
+            if activation == "sigmoid":
+                out = out.sigmoid()
+            elif activation == "tanh":
+                out = out.tanh()
+            return out
+        out_data = _backend.active().gemm_gates(base.data, mat.data,
+                                                weight.data, activation)
 
         def backward(grad):
+            if activation is not None:
+                grad = _backend.active().act_backward(grad, out_data,
+                                                      activation)
             if base.requires_grad:
                 base._accumulate(_unbroadcast(grad, base.shape))
             if mat.requires_grad:

@@ -105,6 +105,63 @@ def _segment_sum_pair(a: Tensor, b: Tensor, segment_ids: np.ndarray,
     return out[:, :width], out[:, width:]
 
 
+def _segment_sum_pair_gated(a: Tensor, f: Tensor, c: Tensor,
+                            segment_ids: np.ndarray,
+                            num_segments: int) -> tuple[Tensor, Tensor]:
+    """:func:`_segment_sum_pair` with the forget-gate product fused in.
+
+    The second operand of the upward level step is always ``f ⊙ c``
+    (forget gates times child cells). Folding the product into the
+    sweep drops the explicit mul node — one less full-size temporary
+    forward and one less gather/accumulate round backward. The
+    backward applies the product rule against the *saved* operand data
+    in the same order the composed graph did (f first, then c), so
+    gradients stay bitwise identical.
+    """
+    width = a.shape[1]
+    fused = _backend.active().segment_sum_pair_gated(
+        a.data, f.data, c.data, segment_ids, num_segments)
+
+    def backward(grad):
+        gathered = grad[segment_ids]
+        if a.requires_grad:
+            a._accumulate(gathered[:, :width])
+        gate_grad = gathered[:, width:]
+        if f.requires_grad:
+            f._accumulate(gate_grad * c.data)
+        if c.requires_grad:
+            c._accumulate(gate_grad * f.data)
+
+    out = Tensor._make(fused, (a, f, c), backward)
+    return out[:, :width], out[:, width:]
+
+
+def _lstm_cell(iou: Tensor, fc: Tensor) -> tuple[Tensor, Tensor]:
+    """Fused pointwise LSTM cell: one node for the whole gate algebra.
+
+    ``iou`` holds the *post*-activation packed gate block (the fused
+    ``addmm(..., activation="iou")`` output) and ``fc`` the
+    forget-gated cell sum.  The composed graph spent seven nodes per
+    level on ``c = i⊙u + fc; h = o⊙tanh(c)`` (three gate slices, two
+    muls, an add, a tanh); this is one backend kernel forward and one
+    backward, with identical float64 results (the backend keeps the
+    historical elementwise op order).  Returns ``(h, c)`` as slices of
+    the packed ``[h | c]`` output.
+    """
+    hs = fc.shape[1]
+    packed, th = _backend.active().lstm_cell(iou.data, fc.data)
+
+    def backward(grad):
+        giou, gfc = _backend.active().lstm_cell_backward(grad, iou.data, th)
+        if iou.requires_grad:
+            iou._accumulate(giou)
+        if fc.requires_grad:
+            fc._accumulate(gfc)
+
+    out = Tensor._make(packed, (iou, fc), backward)
+    return out[:, :hs], out[:, hs:]
+
+
 class TreeSchedule:
     """Precomputed evaluation order for one tree (or a forest).
 
@@ -363,14 +420,12 @@ class ChildSumTreeLSTM(Module):
 
     # ------------------------------------------------------------------
     def _level_step(self, x_iou_level: Tensor, h_tilde: Tensor, fc: Tensor):
-        hs = self.hidden_size
-        iou = Tensor.addmm(x_iou_level, h_tilde, self.u_iou)
-        i = iou[:, 0 * hs:1 * hs].sigmoid()
-        o = iou[:, 1 * hs:2 * hs].sigmoid()
-        u = iou[:, 2 * hs:3 * hs].tanh()
-        c_level = i * u + fc
-        h_level = o * c_level.tanh()
-        return h_level, c_level
+        # Two fused nodes for the whole level: the gate GEMM with the
+        # packed i|o|u nonlinearities applied in the same kernel pass,
+        # then the pointwise cell (c = i⊙u + fc, h = o⊙tanh(c)).
+        iou = Tensor.addmm(x_iou_level, h_tilde, self.u_iou,
+                           activation="iou")
+        return _lstm_cell(iou, fc)
 
     def _run_up(self, x_iou: Tensor, x_f: Tensor,
                 schedule: TreeSchedule | ForestSchedule):
@@ -398,11 +453,12 @@ class ChildSumTreeLSTM(Module):
                 c_children = Tensor.gather_rows(c_levels, src, off)
                 # Per-edge forget gates f_jk applied to each child's cell.
                 f_edges = Tensor.addmm(x_f.take_rows(nodes[edge_parent_pos]),
-                                       h_children, self.u_f).sigmoid()
+                                       h_children, self.u_f,
+                                       activation="sigmoid")
                 # h~ and sum(f*c) bucket over the same edges: one fused
                 # segment sweep instead of two.
-                h_tilde, fc = _segment_sum_pair(
-                    h_children, f_edges * c_children, edge_parent_pos, m)
+                h_tilde, fc = _segment_sum_pair_gated(
+                    h_children, f_edges, c_children, edge_parent_pos, m)
             else:
                 h_tilde = Tensor(_backend.active().zeros((m, hs)))
                 fc = Tensor(_backend.active().zeros((m, hs)))
@@ -441,7 +497,8 @@ class ChildSumTreeLSTM(Module):
                 h_par = h_levels[-1].take_rows(parent_rows)
                 c_par = c_levels[-1].take_rows(parent_rows)
                 h_tilde = h_par
-                f = Tensor.addmm(x_f.take_rows(nodes), h_par, self.u_f).sigmoid()
+                f = Tensor.addmm(x_f.take_rows(nodes), h_par, self.u_f,
+                                 activation="sigmoid")
                 fc = f * c_par
             else:
                 # Root level (all trees' roots in a forest): zero state.

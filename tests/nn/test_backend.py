@@ -15,11 +15,12 @@ from repro.nn.backend import BackendUnavailableError, BufferPool
 from repro.nn.tensor import Tensor
 from repro.nn.treelstm import _segment_reduce, _segment_sum
 
-from ..helpers import check_gradients, check_gradients_fp64_ref
+from ..helpers import (backend_tolerance, check_gradients,
+                       check_gradients_fp64_ref)
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
-ALL_BACKENDS = ["numpy64", "numpy32", "numba"]
+ALL_BACKENDS = ["numpy64", "numpy32", "numba", "cnative"]
 
 
 def _backend_or_skip(name: str):
@@ -320,12 +321,22 @@ class TestSegmentSum:
 
 class TestAddmm:
     def test_matches_composed_graph_bitwise(self):
+        """Bitwise against the composed graph when the backend's GEMM
+        is the NumPy/BLAS one; ``cnative``'s compiled dot loop differs
+        from BLAS in the last ulp, so it gets the documented 1e-8 bar
+        (the same contract the compiled segment kernels carry)."""
+        if nn_backend.active().name == "cnative":
+            def assert_same(a, b):
+                np.testing.assert_allclose(a, b, rtol=0,
+                                           atol=backend_tolerance())
+        else:
+            assert_same = np.testing.assert_array_equal
         bias = Tensor(rand((4,)), requires_grad=True)
         x = Tensor(rand((3, 5), 1), requires_grad=True)
         w = Tensor(rand((4, 5), 2), requires_grad=True)
         fused = Tensor.addmm(bias, x, w)
         composed = bias + x.matmul(w.T)
-        np.testing.assert_array_equal(fused.data, composed.data)
+        assert_same(fused.data, composed.data)
 
         fused.sum().backward()
         fused_grads = [t.grad.copy() for t in (bias, x, w)]
@@ -334,7 +345,7 @@ class TestAddmm:
         composed2 = bias + x.matmul(w.T)
         composed2.sum().backward()
         for g, t in zip(fused_grads, (bias, x, w)):
-            np.testing.assert_array_equal(g, t.grad)
+            assert_same(g, t.grad)
 
     def test_gradcheck_broadcast_bias(self):
         bias = Tensor(rand((4,)), requires_grad=True)

@@ -103,6 +103,26 @@ class Tally:
         rules = {v.rule for v in archlint.scan(root)}
         assert "adhoc-counter-dict" in rules
 
+    def test_ctypes_import_outside_cnative_is_caught(self, tmp_path):
+        root = self.seed(tmp_path, "src/repro/serve/fastpath.py", """
+import ctypes
+
+def load(path):
+    return ctypes.CDLL(path)
+""")
+        rules = [v.rule for v in archlint.scan(root)]
+        assert rules.count("native-compile-outside-cnative") == 2
+
+    def test_compiler_subprocess_outside_cnative_is_caught(self, tmp_path):
+        root = self.seed(tmp_path, "src/repro/nn/selfbuild.py", """
+import subprocess
+
+def build(src, out):
+    subprocess.run(["cc", "-shared", "-fPIC", src, "-o", out])
+""")
+        rules = {v.rule for v in archlint.scan(root)}
+        assert "native-compile-outside-cnative" in rules
+
     def test_cli_exit_code_is_one_on_violation(self, tmp_path, capsys):
         root = self.seed(tmp_path, "src/repro/driver.py",
                          "def f(o):\n    o.opt.step()\n")
@@ -185,6 +205,37 @@ class View:
 def stats(families):
     counts = {name: f.value for name, f in families.items()}
     return counts
+""")
+        assert archlint.scan(root) == []
+
+    def test_cnative_tree_may_compile_and_dlopen(self, tmp_path):
+        root = self.seed(tmp_path, "src/repro/nn/cnative/loader2.py", """
+import ctypes
+import subprocess
+
+def build_and_load(src, out):
+    subprocess.run(["cc", "-shared", "-fPIC", src, "-o", out])
+    return ctypes.CDLL(out)
+""")
+        assert archlint.scan(root) == []
+
+    def test_allow_native_compile_pragma_is_honoured(self, tmp_path):
+        root = self.seed(tmp_path, "src/repro/probe.py", """
+import ctypes  # archlint: allow-native-compile (libc clock probe)
+
+def ticks():
+    return ctypes.CDLL(None).clock()  # archlint: allow-native-compile (ditto)
+""")
+        assert archlint.scan(root) == []
+
+    def test_plain_subprocess_is_not_a_native_compile(self, tmp_path):
+        # subprocess use without compiler markers (the cluster tier
+        # spawning workers, git calls, ...) is out of scope
+        root = self.seed(tmp_path, "src/repro/serve/spawn.py", """
+import subprocess
+
+def spawn(argv):
+    return subprocess.Popen(argv)
 """)
         assert archlint.scan(root) == []
 

@@ -36,6 +36,14 @@ it) and fails CI on:
     the :mod:`repro.obs.metrics` registry so one snapshot covers them
     all. Annotate a non-metric mapping with
     ``# archlint: allow-counter-dict``.
+``native-compile-outside-cnative``
+    In ``src/``, a ``ctypes`` import, a ``CDLL``/``LoadLibrary`` call,
+    or a subprocess invocation carrying compiler-marker literals
+    (``cc``/``gcc``/``clang``/``-shared``/``-fPIC``/``-fopenmp``)
+    outside ``src/repro/nn/cnative/``. Self-compiled native code is
+    confined to the cnative backend so there is exactly one build
+    cache, one ABI seam, and one fallback story. A deliberate
+    exception carries ``# archlint: allow-native-compile``.
 
 Usage::
 
@@ -57,7 +65,7 @@ __all__ = ["Violation", "check_source", "scan", "main", "RULES"]
 
 RULES = ("training-loop-outside-engine", "kernel-outside-backend",
          "sleep-in-serve-tests", "print-outside-obs",
-         "adhoc-counter-dict")
+         "adhoc-counter-dict", "native-compile-outside-cnative")
 
 #: the one file allowed to drive optimizer steps and epoch loops
 _ENGINE_LOOP = "src/repro/engine/loop.py"
@@ -73,6 +81,13 @@ _OBS_HOME = "src/repro/obs/"
 #: attribute names that smell like an ad-hoc counter store
 _COUNTER_ATTR_MARKERS = ("counter", "_counts", "counts_",
                          "flush_triggers", "_hits", "_misses")
+#: the one tree allowed to compile and dlopen native code
+_CNATIVE_HOME = "src/repro/nn/cnative/"
+#: string literals that mark a subprocess call as a compiler invocation
+_COMPILER_LITERALS = frozenset({"cc", "gcc", "clang",
+                                "-shared", "-fPIC", "-fopenmp"})
+#: callable names that load a shared object
+_DLOPEN_NAMES = frozenset({"CDLL", "LoadLibrary", "WinDLL", "PyDLL"})
 _PRAGMA = "# archlint: allow-"
 
 
@@ -143,6 +158,37 @@ def _is_counter_dict_assign(node: ast.Assign) -> bool:
     return False
 
 
+def _is_ctypes_import(node: ast.stmt) -> bool:
+    if isinstance(node, ast.Import):
+        return any(alias.name == "ctypes" or alias.name.startswith("ctypes.")
+                   for alias in node.names)
+    if isinstance(node, ast.ImportFrom):
+        module = node.module or ""
+        return module == "ctypes" or module.startswith("ctypes.")
+    return False
+
+
+def _is_dlopen_call(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in _DLOPEN_NAMES:
+        return True
+    return isinstance(func, ast.Name) and func.id in _DLOPEN_NAMES
+
+
+def _is_compiler_subprocess(call: ast.Call) -> bool:
+    """A subprocess-style call whose arguments carry compiler markers
+    (``["cc", "-shared", ...]``) — i.e. code that shells out to a C
+    compiler instead of going through the cnative build module."""
+    func = call.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else "")
+    if name not in ("run", "call", "check_call", "check_output", "Popen"):
+        return False
+    return any(isinstance(sub, ast.Constant) and isinstance(sub.value, str)
+               and sub.value in _COMPILER_LITERALS
+               for sub in ast.walk(call))
+
+
 def _allowed(lines: list[str], lineno: int, rule_suffix: str) -> bool:
     if not 1 <= lineno <= len(lines):
         return False
@@ -201,6 +247,20 @@ def check_source(rel_path: str, source: str) -> list[Violation]:
                     "counters on the repro.obs.metrics registry (or "
                     "annotate with "
                     "'# archlint: allow-counter-dict <reason>')"))
+        if in_src and not rel.startswith(_CNATIVE_HOME):
+            offending = (
+                _is_ctypes_import(node) if isinstance(node, (ast.Import,
+                                                             ast.ImportFrom))
+                else (_is_dlopen_call(node) or _is_compiler_subprocess(node))
+                if isinstance(node, ast.Call) else False)
+            if offending and not _allowed(lines, node.lineno,
+                                          "native-compile"):
+                violations.append(Violation(
+                    "native-compile-outside-cnative", rel, node.lineno,
+                    "ctypes / shared-object load / compiler subprocess "
+                    "outside repro.nn.cnative; self-compiled native code "
+                    "lives behind the cnative backend (or annotate with "
+                    "'# archlint: allow-native-compile <reason>')"))
         if in_serve_tests:
             if (isinstance(node, ast.Call) and _is_sleep_call(node)
                     and not _allowed(lines, node.lineno, "sleep")):
